@@ -1,0 +1,48 @@
+"""Figure 7: UD send/recv bandwidth under packet loss.
+
+Paper shape: whole-message delivery makes multi-packet messages collapse
+under loss — 0.1 % already hurts at 1 MB, 5 % zeroes everything above
+~64 KB; small (single-fragment) messages barely notice.
+"""
+
+from conftest import print_table, run_once, save_results
+
+from repro.bench.harness import VerbsEndpointPair
+from repro.simnet.loss import BernoulliLoss
+
+SIZES = (1024, 16384, 65536, 262144, 1048576)
+RATES = (0.001, 0.005, 0.01, 0.05)
+
+
+def _sweep(mode):
+    data = {}
+    for size in SIZES:
+        data[size] = {}
+        for rate in RATES:
+            pair = VerbsEndpointPair.build(mode, loss=BernoulliLoss(rate, seed=11))
+            out = pair.bandwidth_mbs(size, messages=max(30, min(400, (4 << 20) // size)))
+            data[size][rate] = round(out["mbs"], 1)
+    return data
+
+
+def test_fig07_ud_sendrecv_under_loss(benchmark):
+    data = run_once(benchmark, lambda: _sweep("ud_sendrecv"))
+    rows = [[f"{s}B"] + [data[s][r] for r in RATES] for s in SIZES]
+    print_table(
+        "Fig. 7 UD send/recv bandwidth under loss (MB/s)",
+        ["size"] + [f"{r:.1%}" for r in RATES],
+        rows,
+    )
+    save_results("fig07_loss_sendrecv", {str(k): v for k, v in data.items()})
+
+    # Small messages are nearly loss-insensitive.
+    assert data[1024][0.05] > 0.8 * data[1024][0.001]
+    # Large messages collapse: 1 MB at 0.5 % already devastated.
+    assert data[1048576][0.005] < 0.3 * data[1048576][0.001] + 10
+    # 5 % loss zeroes everything at/above 256 KB.
+    assert data[262144][0.05] < 5
+    assert data[1048576][0.05] < 5
+    # Monotone in loss rate for multi-packet sizes.
+    for size in (65536, 262144, 1048576):
+        series = [data[size][r] for r in RATES]
+        assert all(a >= b - 5 for a, b in zip(series, series[1:]))

@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""HPC scenario: a 1-D halo-exchange stencil over MPI-on-datagram-iWARP.
+
+The paper's future-work direction (§VII) made concrete: ranks run a
+Jacobi-style stencil, exchanging halo rows each iteration.  Halo
+messages below the eager threshold travel as datagram send/recv; the
+final full-domain gather is large enough to use the RDMA Write-Record
+rendezvous path.  A global allreduce computes the residual.
+
+Run:  python examples/hpc_mpi_stencil.py
+"""
+
+import struct
+
+from repro.apps.mpi import MpiWorld
+
+RANKS = 4
+LOCAL_CELLS = 2048
+ITERATIONS = 10
+TAG_LEFT, TAG_RIGHT, TAG_GATHER = 11, 12, 13
+
+
+def pack(values):
+    return struct.pack(f"!{len(values)}d", *values)
+
+
+def unpack(data):
+    return list(struct.unpack(f"!{len(data) // 8}d", data))
+
+
+def rank_main(comm):
+    rank, size = comm.rank, comm.size
+    # Initial condition: a hot spike on rank 0's left edge.
+    cells = [0.0] * LOCAL_CELLS
+    if rank == 0:
+        cells[0] = 1000.0
+
+    for _ in range(ITERATIONS):
+        # -- halo exchange (eager datagram send/recv) -------------------
+        left, right = rank - 1, rank + 1
+        if left >= 0:
+            comm.send(pack([cells[0]]), left, TAG_LEFT)
+        if right < size:
+            comm.send(pack([cells[-1]]), right, TAG_RIGHT)
+        halo_left = halo_right = None
+        if left >= 0:
+            got = yield comm.recv(left, TAG_RIGHT)
+            halo_left = unpack(got[0])[0]
+        if right < size:
+            got = yield comm.recv(right, TAG_LEFT)
+            halo_right = unpack(got[0])[0]
+
+        # -- Jacobi update ------------------------------------------------
+        prev = cells
+        cells = list(prev)
+        for i in range(LOCAL_CELLS):
+            lo = prev[i - 1] if i > 0 else (halo_left if halo_left is not None else prev[i])
+            hi = prev[i + 1] if i < LOCAL_CELLS - 1 else (
+                halo_right if halo_right is not None else prev[i])
+            cells[i] = (lo + prev[i] + hi) / 3.0
+
+        # -- global residual (allreduce) --------------------------------
+        local_sq = sum((a - b) ** 2 for a, b in zip(cells, prev))
+        residual = yield from comm.allreduce_sum(local_sq)
+
+    # -- gather the full domain at rank 0 (Write-Record rendezvous:
+    #    each contribution is 16 KB, above the eager threshold) ---------
+    if rank == 0:
+        domain = list(cells)
+        for _ in range(size - 1):
+            got = yield comm.recv()
+            src = got[1]
+            part = unpack(got[0])
+            domain[src * LOCAL_CELLS : 0] = []  # keep list length bookkeeping simple
+            domain.extend(part)
+        total_heat = sum(domain[:LOCAL_CELLS * size])
+        return (residual, total_heat)
+    comm.send(pack(cells), 0, TAG_GATHER)
+    return (residual, None)
+
+
+def main() -> None:
+    world = MpiWorld(RANKS)
+    results = world.run(rank_main)
+    residual = results[0][0]
+    print(f"{RANKS} ranks x {LOCAL_CELLS} cells, {ITERATIONS} Jacobi iterations")
+    print(f"final global residual: {residual:.6f}")
+    print(f"simulated wall time: {world.sim.now / 1e6:.2f} ms, "
+          f"{world.sim.events_processed} events")
+    print("halo traffic rode eager datagrams; the 16 KB gather messages "
+          "rode Write-Record rendezvous.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Packet-loss study: why RDMA Write-Record exists.
+
+Streams 512 KB messages through ``tc``-style Bernoulli loss at the
+sender's egress queue and contrasts the paper's three delivery models:
+
+* **UD send/recv** — whole-message delivery: one lost fragment anywhere
+  discards the message (Fig. 7's collapse);
+* **UD RDMA Write-Record** — partial placement: every ~64 KB segment
+  that arrives is placed and recorded; the completion's validity map
+  tells the application which byte ranges to consume (Fig. 8's plateau);
+* **RD send/recv** — reliable datagrams: everything arrives, at the cost
+  of retransmission delay.
+
+Run:  python examples/packet_loss_study.py
+"""
+
+from repro.bench.harness import VerbsEndpointPair
+from repro.simnet.loss import BernoulliLoss
+
+SIZE = 512 * 1024
+RATES = (0.0, 0.001, 0.01, 0.05)
+MODES = (
+    ("ud_sendrecv", "UD send/recv (whole-message)"),
+    ("ud_write_record", "UD Write-Record (partial placement)"),
+    ("rd_sendrecv", "RD send/recv (reliable datagrams)"),
+)
+
+
+def main() -> None:
+    print(f"512 KB messages, Bernoulli loss at the sender egress queue\n")
+    header = f"{'loss rate':>10} | " + " | ".join(f"{label:>38}" for _, label in MODES)
+    print(header)
+    print("-" * len(header))
+    for rate in RATES:
+        cells = []
+        for mode, _label in MODES:
+            loss = BernoulliLoss(rate, seed=21) if rate else None
+            pair = VerbsEndpointPair.build(mode, loss=loss)
+            out = pair.bandwidth_mbs(SIZE, messages=24, window=8)
+            whole = out["received_msgs"]
+            partial = out["partial_msgs"]
+            cells.append(
+                f"{out['mbs']:7.1f} MB/s  {whole:3d} whole/{partial:3d} partial"
+            )
+        print(f"{rate:>9.1%} | " + " | ".join(f"{c:>38}" for c in cells))
+
+    print(
+        "\nReading the table: send/recv goodput collapses once messages span\n"
+        "many fragments; Write-Record keeps banking the segments that arrive\n"
+        "(partial messages still deliver most of their bytes); reliable\n"
+        "datagrams deliver everything at low loss but pay retransmission\n"
+        "stalls -- and at ~5% even retransmitted 64 KB datagrams rarely\n"
+        "survive their ~45 fragments, so naive reliable-UDP breaks down too."
+    )
+
+
+if __name__ == "__main__":
+    main()

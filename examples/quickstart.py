@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Quickstart: datagram-iWARP in five minutes.
+
+Builds the paper's two-node 10-GigE testbed, brings up a UD queue pair
+on each host, and demonstrates the paper's core contribution — RDMA
+Write-Record over unreliable datagrams — next to classic UD send/recv:
+
+1. register memory and advertise a steering tag;
+2. post a Write-Record: one-sided, no receive posted at the target;
+3. poll the target completion queue (with a timeout — the datagram-iWARP
+   way to survive loss) and read the validity map;
+4. do the same exchange with two-sided send/recv for contrast.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core.verbs import RecvWR, RnicDevice, SendWR, Sge, WrOpcode
+from repro.memory import Access
+from repro.simnet import MS, build_testbed
+from repro.transport.stacks import install_stacks
+
+
+def main() -> None:
+    # --- testbed: two hosts through a 10-GigE switch ------------------
+    tb = build_testbed()
+    sim = tb.sim
+    nets = install_stacks(tb)
+    dev_a, dev_b = RnicDevice(nets[0]), RnicDevice(nets[1])
+
+    # --- verbs objects -------------------------------------------------
+    pd_a, pd_b = dev_a.alloc_pd(), dev_b.alloc_pd()
+    cq_a, cq_b = dev_a.create_cq(), dev_b.create_cq()
+    qp_a = dev_a.create_ud_qp(pd_a, cq_a, port=9000)   # ready instantly:
+    qp_b = dev_b.create_ud_qp(pd_b, cq_b, port=9001)   # no connection setup
+
+    # --- memory ---------------------------------------------------------
+    message = b"RDMA over unreliable datagrams!"
+    src = dev_a.reg_mr(bytearray(message), Access.local_only(), pd_a)
+    sink = dev_b.reg_mr(4096, Access.remote_write(), pd_b)  # advertised buffer
+
+    def demo():
+        # ---- RDMA Write-Record: one-sided, no posted receive ----------
+        qp_a.post_send(SendWR(
+            opcode=WrOpcode.RDMA_WRITE_RECORD,
+            sges=[Sge(src)],
+            dest=qp_b.address,                 # datagram verbs carry a dest
+            remote_stag=sink.stag,
+            remote_offset=128,
+        ))
+        wcs = yield cq_b.poll_wait(timeout_ns=100 * MS)  # timeout = loss detection
+        wc = wcs[0]
+        print(f"[{sim.now/1000:8.1f} us] Write-Record completion from {wc.src}")
+        print(f"            valid ranges: {wc.validity.ranges()} at sink offset {wc.base_offset}")
+        print(f"            sink now holds: {bytes(sink.view(128, len(message)))!r}")
+
+        # ---- classic two-sided send/recv for contrast ------------------
+        dst = dev_b.reg_mr(4096, Access.local_only(), pd_b)
+        qp_b.post_recv(RecvWR(sges=[Sge(dst)]))
+        qp_a.post_send(SendWR(
+            opcode=WrOpcode.SEND, sges=[Sge(src)], dest=qp_b.address,
+        ))
+        wcs = yield cq_b.poll_wait(timeout_ns=100 * MS)
+        wc = wcs[0]
+        print(f"[{sim.now/1000:8.1f} us] send/recv completion: {wc.byte_len} bytes "
+              f"from {wc.src}: {bytes(dst.view(0, wc.byte_len))!r}")
+
+    done = sim.process(demo()).finished
+    sim.run_until(done, limit=10_000 * MS)
+    print("\nquickstart complete:",
+          f"{tb.hosts[0].port.tx_frames + tb.hosts[1].port.tx_frames} frames on the wire,",
+          f"{sim.events_processed} simulation events")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""repro — reproduction of "RDMA Capable iWARP over Datagrams" (IPDPS 2011).
+
+Public layers, bottom-up:
+
+* :mod:`repro.simnet` — discrete-event testbed (hosts, CPUs, NICs, switch,
+  loss injection).
+* :mod:`repro.transport` — IP (with fragmentation), UDP, TCP, reliable-UDP.
+* :mod:`repro.memory` — registered memory regions, STags, validity maps,
+  memory-footprint accounting.
+* :mod:`repro.core` — the iWARP stack: MPA, DDP, RDMAP (including RDMA
+  Write-Record), verbs, and the iWARP socket interface.
+* :mod:`repro.apps` — VLC-like streaming and SIPp-like workloads.
+* :mod:`repro.bench` — harnesses reproducing every figure in the paper.
+"""
+
+__version__ = "1.0.0"

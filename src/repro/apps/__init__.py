@@ -1,0 +1,1 @@
+"""Application workloads: media streaming (VLC-like), SIP (SIPp-like), MPI-like."""

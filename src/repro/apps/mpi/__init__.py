@@ -1,0 +1,7 @@
+"""MPI-flavoured interface over datagram-iWARP (the paper's §VII
+future-work extension: MPI using RDMA Write-Record rendezvous)."""
+
+from .comm import ANY_SOURCE, ANY_TAG, Communicator, EAGER_THRESHOLD, MpiError, MpiWorld
+
+__all__ = ["ANY_SOURCE", "ANY_TAG", "Communicator", "EAGER_THRESHOLD",
+           "MpiError", "MpiWorld"]

@@ -1,0 +1,147 @@
+"""Minimal SIP message builder/parser.
+
+Real textual SIP messages (request line / status line + the headers a
+transaction layer needs), sized realistically (~350-600 bytes), so the
+workload exercises the transports with genuine SIP-shaped traffic and
+the parser is genuinely exercised by tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+SIP_VERSION = "SIP/2.0"
+
+REQUEST_METHODS = ("REGISTER", "INVITE", "ACK", "BYE", "OPTIONS", "CANCEL")
+
+
+class SipParseError(Exception):
+    """Structurally invalid SIP message."""
+
+
+@dataclass
+class SipMessage:
+    """Either a request (method set) or a response (status set)."""
+
+    method: Optional[str] = None
+    uri: str = ""
+    status: Optional[int] = None
+    reason: str = ""
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: str = ""
+
+    @property
+    def is_request(self) -> bool:
+        return self.method is not None
+
+    @property
+    def call_id(self) -> str:
+        return self.headers.get("Call-ID", "")
+
+    @property
+    def cseq(self) -> str:
+        return self.headers.get("CSeq", "")
+
+    def encode(self) -> bytes:
+        if self.is_request:
+            start = f"{self.method} {self.uri} {SIP_VERSION}"
+        else:
+            start = f"{SIP_VERSION} {self.status} {self.reason}"
+        lines = [start]
+        lines += [f"{k}: {v}" for k, v in self.headers.items()]
+        lines.append(f"Content-Length: {len(self.body)}")
+        lines.append("")
+        lines.append(self.body)
+        return "\r\n".join(lines).encode()
+
+
+def _standard_headers(call_id: str, cseq: int, method: str, from_user: str,
+                      to_user: str, branch: str) -> Dict[str, str]:
+    return {
+        "Via": f"SIP/2.0/UDP client.example.invalid;branch=z9hG4bK{branch}",
+        "Max-Forwards": "70",
+        "From": f"<sip:{from_user}@example.invalid>;tag=t{abs(hash(from_user)) % 99999}",
+        "To": f"<sip:{to_user}@example.invalid>",
+        "Call-ID": call_id,
+        "CSeq": f"{cseq} {method}",
+        "Contact": f"<sip:{from_user}@client.example.invalid:5060>",
+        "User-Agent": "repro-sipp/1.0",
+    }
+
+
+def build_request(
+    method: str,
+    call_id: str,
+    cseq: int,
+    from_user: str = "alice",
+    to_user: str = "bob",
+    body: str = "",
+) -> SipMessage:
+    if method not in REQUEST_METHODS:
+        raise ValueError(f"unsupported SIP method {method!r}")
+    msg = SipMessage(
+        method=method,
+        uri=f"sip:{to_user}@example.invalid",
+        headers=_standard_headers(call_id, cseq, method, from_user, to_user,
+                                  branch=f"{call_id}.{cseq}"),
+        body=body,
+    )
+    if method == "INVITE" and not body:
+        # A small SDP offer, as SIPp's default scenario carries.
+        msg.body = (
+            "v=0\r\no=user 53655765 2353687637 IN IP4 127.0.0.1\r\n"
+            "s=-\r\nc=IN IP4 127.0.0.1\r\nt=0 0\r\n"
+            "m=audio 6000 RTP/AVP 0\r\na=rtpmap:0 PCMU/8000\r\n"
+        )
+        msg.headers["Content-Type"] = "application/sdp"
+    return msg
+
+
+def build_response(request: SipMessage, status: int, reason: str) -> SipMessage:
+    """Response echoing the transaction-identifying headers (RFC 3261)."""
+    headers = {
+        k: request.headers[k]
+        for k in ("Via", "From", "To", "Call-ID", "CSeq")
+        if k in request.headers
+    }
+    headers["Server"] = "repro-sip-server/1.0"
+    headers["Contact"] = "<sip:server.example.invalid:5060>"
+    return SipMessage(status=status, reason=reason, headers=headers)
+
+
+def parse(data: bytes) -> SipMessage:
+    try:
+        text = data.decode()
+    except UnicodeDecodeError as exc:
+        raise SipParseError(f"not text: {exc}") from None
+    head, _, body = text.partition("\r\n\r\n")
+    lines = head.split("\r\n")
+    if not lines or not lines[0]:
+        raise SipParseError("empty message")
+    start = lines[0]
+    msg = SipMessage(body=body)
+    if start.startswith(SIP_VERSION):
+        parts = start.split(" ", 2)
+        if len(parts) < 3:
+            raise SipParseError(f"bad status line {start!r}")
+        try:
+            msg.status = int(parts[1])
+        except ValueError:
+            raise SipParseError(f"bad status code in {start!r}") from None
+        msg.reason = parts[2]
+    else:
+        parts = start.split(" ")
+        if len(parts) != 3 or parts[2] != SIP_VERSION:
+            raise SipParseError(f"bad request line {start!r}")
+        msg.method, msg.uri = parts[0], parts[1]
+        if msg.method not in REQUEST_METHODS:
+            raise SipParseError(f"unknown method {msg.method!r}")
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise SipParseError(f"bad header line {line!r}")
+        msg.headers[name.strip()] = value.strip()
+    return msg

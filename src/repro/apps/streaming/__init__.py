@@ -1,0 +1,10 @@
+"""VLC-like media streaming workload (Fig. 9)."""
+
+from .client import StreamingClient
+from .media import MediaSource, UDP_MEDIA_PAYLOAD
+from .server import HttpVodConfig, StreamingServer, UdpStreamConfig
+
+__all__ = [
+    "HttpVodConfig", "MediaSource", "StreamingClient", "StreamingServer",
+    "UDP_MEDIA_PAYLOAD", "UdpStreamConfig",
+]

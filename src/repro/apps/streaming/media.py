@@ -1,0 +1,51 @@
+"""Media source model for the VLC streaming study.
+
+Produces deterministic pseudo-content at a configurable bitrate and
+packetization, mirroring how VLC streams: UDP mode emits ~1316-byte
+RTP-sized packets (7 × 188-byte MPEG-TS cells), HTTP mode serves the
+same bytes as a continuous body.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: VLC's classic UDP payload: seven MPEG-TS packets.
+TS_PACKET = 188
+UDP_MEDIA_PAYLOAD = 7 * TS_PACKET  # 1316 bytes
+
+
+@dataclass
+class MediaSource:
+    """A finite piece of media."""
+
+    bitrate_bps: float = 8_000_000.0   # 8 Mb/s SD stream
+    duration_s: float = 60.0
+    packet_bytes: int = UDP_MEDIA_PAYLOAD
+
+    def __post_init__(self) -> None:
+        if self.bitrate_bps <= 0 or self.duration_s <= 0 or self.packet_bytes <= 0:
+            raise ValueError("media parameters must be positive")
+
+    @property
+    def total_bytes(self) -> int:
+        return int(self.bitrate_bps * self.duration_s / 8)
+
+    def packet_count(self) -> int:
+        return -(-self.total_bytes // self.packet_bytes)
+
+    def packet(self, index: int) -> bytes:
+        """Deterministic content for packet ``index`` (last may be short)."""
+        start = index * self.packet_bytes
+        if start >= self.total_bytes:
+            raise IndexError(f"packet {index} beyond end of media")
+        size = min(self.packet_bytes, self.total_bytes - start)
+        # Cheap deterministic filler: a rotating 4-byte counter pattern.
+        seed = (index * 2654435761) & 0xFFFFFFFF
+        block = seed.to_bytes(4, "big") * (size // 4 + 1)
+        return block[:size]
+
+    def packet_interval_ns(self) -> int:
+        """Wall-clock spacing between packets at the nominal bitrate
+        (used for steady-state pacing after the prebuffer burst)."""
+        return int(self.packet_bytes * 8 / self.bitrate_bps * 1e9)

@@ -1,0 +1,191 @@
+"""Streaming server: VLC-style UDP streaming and HTTP-over-TCP VOD.
+
+Two serving modes, matching the §VI.B.1 comparison:
+
+* **UDP mode** — the client sends ``PLAY <bytes>``; the server bursts the
+  requested media as ~1316-byte datagrams (prebuffer fill runs at full
+  rate, as VLC's cache fill does).
+
+* **HTTP mode** — the client issues ranged ``GET`` requests over a
+  stream socket and the server answers each with headers + a block of
+  body.  The per-request turnaround and per-block server work model the
+  documented inefficiency of VLC-era HTTP VOD (the paper itself notes
+  "there is more inherent overhead involved in the HTTP based method"
+  and attributes only part of Fig. 9's gap to the transport).
+
+Both modes run over any socket API object (native kernel sockets or the
+iWARP shim), which is how the shim-overhead measurement and the UD/RC
+comparison reuse one server implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ...simnet.engine import MS, Simulator
+from ...core.socketif.interface import SOCK_DGRAM, SOCK_STREAM
+from .media import MediaSource
+
+
+@dataclass
+class HttpVodConfig:
+    """Knobs for the HTTP serving path (CALIBRATED to VLC-era VOD)."""
+
+    #: Bytes of body returned per ranged GET.
+    block_bytes: int = 4096
+    #: Response header size (status line + entity headers).
+    header_bytes: int = 320
+    #: Request size.
+    request_bytes: int = 220
+    #: Server-side work per request: parse, seek, read block.
+    server_per_request_ns: int = 55_000
+    #: Client-side work per response: header parse + buffer insert.
+    client_per_response_ns: int = 35_000
+
+
+@dataclass
+class UdpStreamConfig:
+    """Knobs for the UDP serving path."""
+
+    #: Server-side work per packet (TS mux + timestamping).
+    server_per_packet_ns: int = 3_000
+    #: Client-side work per packet (demux insert).
+    client_per_packet_ns: int = 3_000
+    #: Packets per burst before yielding the CPU (socket batching).
+    burst_packets: int = 16
+
+
+class StreamingServer:
+    """Serves one MediaSource in either mode, any number of clients."""
+
+    def __init__(
+        self,
+        api,
+        host,
+        port: int,
+        media: MediaSource,
+        mode: str,
+        http_cfg: Optional[HttpVodConfig] = None,
+        udp_cfg: Optional[UdpStreamConfig] = None,
+        paced: bool = False,
+    ):
+        if mode not in ("udp", "http"):
+            raise ValueError(f"unknown streaming mode {mode!r}")
+        self.api = api
+        self.host = host            # simnet Host (for CPU charging)
+        self.sim: Simulator = host.sim
+        self.port = port
+        self.media = media
+        self.mode = mode
+        self.http_cfg = http_cfg or HttpVodConfig()
+        self.udp_cfg = udp_cfg or UdpStreamConfig()
+        #: When True the UDP stream is clocked at the media bitrate (a
+        #: live stream); when False it bursts at full speed (cache fill).
+        self.paced = paced
+        self.clients_served = 0
+        self.bytes_served = 0
+        self._stop = False
+
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        if self.mode == "udp":
+            self.sim.process(self._serve_udp(), name="stream-server-udp")
+        else:
+            self.sim.process(self._serve_http(), name="stream-server-http")
+
+    def stop(self) -> None:
+        self._stop = True
+
+    # -- UDP mode ---------------------------------------------------------
+
+    def _serve_udp(self):
+        fd = self.api.socket(SOCK_DGRAM, port=self.port)
+        while not self._stop:
+            req = yield self.api.recvfrom_future(fd, 2048, timeout_ns=None)
+            if req is None:
+                continue
+            data, client = req
+            try:
+                text = bytes(data).decode()
+                if not text.startswith("PLAY "):
+                    continue
+                want = min(int(text.split()[1]), self.media.total_bytes)
+            except (ValueError, IndexError, UnicodeDecodeError):
+                continue
+            self.sim.process(self._stream_to(fd, client, want), name="stream-burst")
+
+    def _stream_to(self, fd, client, want: int):
+        cfg = self.udp_cfg
+        self.clients_served += 1
+        sent = 0
+        index = 0
+        while sent < want and not self._stop:
+            for _ in range(cfg.burst_packets):
+                if sent >= want:
+                    break
+                pkt = self.media.packet(index)
+                self.host.cpu.charge(cfg.server_per_packet_ns)
+                self.api.sendto(fd, pkt, client)
+                sent += len(pkt)
+                index += 1
+            if self.paced:
+                yield self.udp_cfg.burst_packets * self.media.packet_interval_ns()
+            else:
+                # Yield so the CPU queue drains between bursts (the real
+                # server's send loop blocks in sendto once buffers fill).
+                yield max(1, self.host.cpu.free_at - self.sim.now)
+        self.bytes_served += sent
+        self.api.sendto(fd, b"END", client)
+
+    # -- HTTP mode ----------------------------------------------------------
+
+    def _serve_http(self):
+        lfd = self.api.socket(SOCK_STREAM)
+        self.api.listen(lfd, self.port)
+        while not self._stop:
+            cfd = yield self.api.accept_future(lfd)
+            self.clients_served += 1
+            self.sim.process(self._serve_http_client(cfd), name="http-conn")
+
+    def _serve_http_client(self, cfd):
+        cfg = self.http_cfg
+        buf = b""
+        while not self._stop:
+            # Read one request line ("GET <offset> <length>").
+            while b"\n" not in buf:
+                chunk = yield self.api.recv_future(cfd, 4096, timeout_ns=2000 * MS)
+                if not chunk:
+                    self.api.close(cfd)
+                    return
+                buf += chunk
+            line, _, buf = buf.partition(b"\n")
+            try:
+                parts = line.decode().split()
+                if parts[0] == "QUIT":
+                    self.api.close(cfd)
+                    return
+                offset, length = int(parts[1]), int(parts[2])
+            except (ValueError, IndexError, UnicodeDecodeError):
+                self.api.close(cfd)
+                return
+            length = max(0, min(length, self.media.total_bytes - offset))
+            self.host.cpu.charge(cfg.server_per_request_ns)
+            body = self._media_bytes(offset, length)
+            header = f"HTTP/1.1 206 OK len={length}".encode()
+            header += b" " * max(0, cfg.header_bytes - len(header)) + b"\n"
+            self.api.send(cfd, header + body)
+            self.bytes_served += length
+
+    def _media_bytes(self, offset: int, length: int) -> bytes:
+        """Assemble body bytes from the packetized media content."""
+        out = bytearray()
+        idx = offset // self.media.packet_bytes
+        skip = offset - idx * self.media.packet_bytes
+        while len(out) < length:
+            pkt = self.media.packet(idx)
+            out += pkt[skip:]
+            skip = 0
+            idx += 1
+        return bytes(out[:length])

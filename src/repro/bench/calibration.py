@@ -1,0 +1,96 @@
+"""Calibration check: paper anchors vs this build's measurements.
+
+Runs the small set of microbenchmark points the paper quotes exact
+numbers for and renders a paper-vs-measured table.  This is the tool to
+re-run after touching :class:`repro.models.costs.CostModel`: if the
+deltas drift, the calibration lost its anchors.
+
+Usage::
+
+    python -m repro.bench.calibration          # full check (~1 min)
+    python -m repro.bench.calibration --quick  # latency anchors only
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict
+
+from ..simnet.loss import BernoulliLoss
+from .harness import VerbsEndpointPair
+from .report import ComparisonReport
+
+#: The paper's quoted anchors (§VI.A text + figure readings).
+PAPER_ANCHORS = {
+    "ud_sendrecv_64B_latency_us": 27.5,          # "27-28 us" under 128 B
+    "rc_sendrecv_64B_latency_us": 33.0,          # "around 33 us"
+    "udsr_latency_improvement_2K_pct": 18.1,
+    "udwr_latency_improvement_2K_pct": 24.4,
+    "wrr_vs_rcw_bw_ratio_512K": 3.56,            # "+256 %"
+    "udsr_vs_rcsr_bw_ratio_256K": 1.334,         # "+33.4 %"
+    "wrr_vs_rcw_bw_ratio_1K": 2.888,             # "+188.8 %"
+    "udsr_vs_rcsr_bw_ratio_1K": 2.93,            # "+193 %"
+    "peak_bandwidth_mbs": 245.0,                 # figure ceiling ~235-250
+}
+
+
+def measure_latency_anchors(iters: int = 20) -> Dict[str, float]:
+    out = {}
+    lat = {}
+    for mode in ("ud_sendrecv", "ud_write_record", "rc_sendrecv", "rc_rdma_write"):
+        lat[mode] = {
+            64: VerbsEndpointPair.build(mode).pingpong_latency_us(64, iters=iters),
+            2048: VerbsEndpointPair.build(mode).pingpong_latency_us(2048, iters=iters),
+        }
+    out["ud_sendrecv_64B_latency_us"] = lat["ud_sendrecv"][64]
+    out["rc_sendrecv_64B_latency_us"] = lat["rc_sendrecv"][64]
+    out["udsr_latency_improvement_2K_pct"] = 100 * (
+        1 - lat["ud_sendrecv"][2048] / lat["rc_sendrecv"][2048]
+    )
+    out["udwr_latency_improvement_2K_pct"] = 100 * (
+        1 - lat["ud_write_record"][2048] / lat["rc_rdma_write"][2048]
+    )
+    return out
+
+
+def measure_bandwidth_anchors() -> Dict[str, float]:
+    bw = {}
+    for mode in ("ud_sendrecv", "ud_write_record", "rc_sendrecv", "rc_rdma_write"):
+        bw[mode] = {}
+        for size in (1024, 262144, 524288):
+            pair = VerbsEndpointPair.build(mode)
+            bw[mode][size] = pair.bandwidth_mbs(
+                size, messages=max(30, min(600, (3 << 20) // size))
+            )["mbs"]
+    return {
+        "wrr_vs_rcw_bw_ratio_512K": bw["ud_write_record"][524288] / bw["rc_rdma_write"][524288],
+        "udsr_vs_rcsr_bw_ratio_256K": bw["ud_sendrecv"][262144] / bw["rc_sendrecv"][262144],
+        "wrr_vs_rcw_bw_ratio_1K": bw["ud_write_record"][1024] / bw["rc_rdma_write"][1024],
+        "udsr_vs_rcsr_bw_ratio_1K": bw["ud_sendrecv"][1024] / bw["rc_sendrecv"][1024],
+        "peak_bandwidth_mbs": bw["ud_write_record"][524288],
+    }
+
+
+def run_calibration_check(quick: bool = False) -> ComparisonReport:
+    report = ComparisonReport("Calibration: paper anchors vs measured")
+    measured = measure_latency_anchors()
+    if not quick:
+        measured.update(measure_bandwidth_anchors())
+    for key, paper in PAPER_ANCHORS.items():
+        if key in measured:
+            unit = ("us" if key.endswith("_us")
+                    else "%" if key.endswith("_pct")
+                    else "MB/s" if key.endswith("_mbs") else "x")
+            report.add(key, paper, measured[key], unit)
+    return report
+
+
+def main(argv=None) -> int:
+    quick = "--quick" in (argv or sys.argv[1:])
+    report = run_calibration_check(quick=quick)
+    print(report.render())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,2 @@
+"""The iWARP stack: MPA, DDP, RDMAP (with RDMA Write-Record), verbs,
+and the iWARP socket interface."""

@@ -1,0 +1,20 @@
+"""DDP layer: tagged/untagged headers, segmentation, reassembly."""
+
+from .headers import (
+    CTRL_SIZE, DdpSegment, FLAG_LAST, FLAG_TAGGED, FLAG_UDEXT, HeaderError,
+    OP_READ_REQUEST, OP_READ_RESPONSE, OP_SEND, OP_SEND_SE, OP_TERMINATE,
+    OP_WRITE, OP_WRITE_RECORD, OPCODE_NAMES, QN_READ_REQUEST, QN_SEND,
+    QN_TERMINATE, TAGGED_SIZE, UDEXT_SIZE, UNTAGGED_SIZE,
+    decode_read_request, decode_segment, encode_read_request,
+)
+from .segmentation import ReassemblyError, SegmentSpec, UntaggedReassembly, plan_segments
+
+__all__ = [
+    "CTRL_SIZE", "DdpSegment", "FLAG_LAST", "FLAG_TAGGED", "FLAG_UDEXT",
+    "HeaderError", "OPCODE_NAMES", "OP_READ_REQUEST", "OP_READ_RESPONSE",
+    "OP_SEND", "OP_SEND_SE", "OP_TERMINATE", "OP_WRITE", "OP_WRITE_RECORD",
+    "QN_READ_REQUEST", "QN_SEND", "QN_TERMINATE", "ReassemblyError",
+    "SegmentSpec", "TAGGED_SIZE", "UDEXT_SIZE", "UNTAGGED_SIZE",
+    "UntaggedReassembly", "decode_read_request", "decode_segment",
+    "encode_read_request", "plan_segments",
+]

@@ -1,0 +1,5 @@
+"""RDMAP layer: operation semantics, including RDMA Write-Record."""
+
+from .engine import RdmapError, RdmapRx, RdmapTx, UD_REASSEMBLY_TIMEOUT_NS
+
+__all__ = ["RdmapError", "RdmapRx", "RdmapTx", "UD_REASSEMBLY_TIMEOUT_NS"]

@@ -1,0 +1,10 @@
+"""The iWARP socket interface (shim), native sockets, and preloading."""
+
+from .interface import IwSocketInterface, SOCK_DGRAM, SOCK_STREAM, SocketError
+from .native import NativeSocketApi, NativeSocketError
+from .preload import Interceptor
+
+__all__ = [
+    "Interceptor", "IwSocketInterface", "NativeSocketApi",
+    "NativeSocketError", "SOCK_DGRAM", "SOCK_STREAM", "SocketError",
+]

@@ -1,0 +1,145 @@
+"""Native (kernel) socket API with the same call surface as the shim.
+
+Applications in :mod:`repro.apps` are written against this small
+socket-API protocol; handing them an :class:`IwSocketInterface` instead
+of a :class:`NativeSocketApi` is the simulation's equivalent of
+LD_PRELOADing the paper's interception library.  Running the same
+application over both is how the §VI.B.2 shim-overhead measurement
+(~2 % over native UDP) is reproduced.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Optional, Tuple
+
+from ...simnet.engine import MS, Future
+from ...transport.stacks import NetStack
+
+Address = Tuple[int, int]
+
+SOCK_DGRAM = "SOCK_DGRAM"
+SOCK_STREAM = "SOCK_STREAM"
+
+
+class NativeSocketError(Exception):
+    pass
+
+
+class NativeSocketApi:
+    """fd-based facade over the host's kernel UDP/TCP stacks."""
+
+    def __init__(self, net: NetStack):
+        self.net = net
+        self.sim = net.sim
+        self._fds: Dict[int, dict] = {}
+        self._next_fd = itertools.count(3)
+
+    # -- creation -----------------------------------------------------------
+
+    def socket(self, sock_type: str, port: Optional[int] = None) -> int:
+        fd = next(self._next_fd)
+        if sock_type == SOCK_DGRAM:
+            self._fds[fd] = {"type": sock_type, "udp": self.net.udp.socket(port)}
+        elif sock_type == SOCK_STREAM:
+            self._fds[fd] = {"type": sock_type, "tcp": None, "listener": None}
+        else:
+            raise NativeSocketError(f"unsupported socket type {sock_type!r}")
+        return fd
+
+    def _entry(self, fd: int) -> dict:
+        try:
+            return self._fds[fd]
+        except KeyError:
+            raise NativeSocketError(f"bad file descriptor {fd}") from None
+
+    def getsockname(self, fd: int) -> Address:
+        entry = self._entry(fd)
+        if entry["type"] != SOCK_DGRAM:
+            raise NativeSocketError("getsockname only for datagram sockets here")
+        return (self.net.host.host_id, entry["udp"].port)
+
+    # -- datagram ---------------------------------------------------------------
+
+    def sendto(self, fd: int, data: bytes, addr: Address) -> int:
+        self._entry(fd)["udp"].sendto(bytes(data), addr)
+        return len(data)
+
+    def recvfrom_future(
+        self, fd: int, bufsize: int, timeout_ns: Optional[int] = 5000 * MS
+    ) -> Future:
+        udp = self._entry(fd)["udp"]
+        fut = self.sim.future()
+        inner = udp.recv_future()
+
+        def done(result) -> None:
+            if not fut.done:
+                data, src = result
+                fut.set_result((data[:bufsize], src))
+
+        inner.add_callback(done)
+        if timeout_ns is not None:
+            def expire() -> None:
+                if not fut.done:
+                    fut.set_result(None)
+            self.sim.schedule(timeout_ns, expire)
+        return fut
+
+    # -- stream ------------------------------------------------------------------
+
+    def connect_future(self, fd: int, addr: Address) -> Future:
+        entry = self._entry(fd)
+        entry["tcp"] = self.net.tcp.connect(addr)
+        return entry["tcp"].established
+
+    def listen(self, fd: int, port: int) -> None:
+        self._entry(fd)["listener"] = self.net.tcp.listen(port)
+
+    def accept_future(self, fd: int) -> Future:
+        entry = self._entry(fd)
+        fut = self.sim.future()
+
+        def wrap(sock) -> None:
+            child = next(self._next_fd)
+            self._fds[child] = {"type": SOCK_STREAM, "tcp": sock, "listener": None}
+            fut.set_result(child)
+
+        entry["listener"].accept_future().add_callback(wrap)
+        return fut
+
+    def send(self, fd: int, data: bytes) -> int:
+        tcp = self._entry(fd)["tcp"]
+        if tcp is None:
+            raise NativeSocketError("send on unconnected stream socket")
+        tcp.send(bytes(data))
+        return len(data)
+
+    def recv_future(
+        self, fd: int, bufsize: int, timeout_ns: Optional[int] = None
+    ) -> Future:
+        tcp = self._entry(fd)["tcp"]
+        fut = self.sim.future()
+        tcp.recv_future().add_callback(
+            lambda data: None if fut.done else fut.set_result(data[:bufsize])
+        )
+        if timeout_ns is not None:
+            def expire() -> None:
+                if not fut.done:
+                    fut.set_result(None)
+            self.sim.schedule(timeout_ns, expire)
+        return fut
+
+    def close(self, fd: int) -> None:
+        entry = self._fds.pop(fd, None)
+        if entry is None:
+            return
+        if entry["type"] == SOCK_DGRAM:
+            entry["udp"].close()
+        else:
+            if entry["tcp"] is not None:
+                entry["tcp"].close()
+            if entry["listener"] is not None:
+                entry["listener"].close()
+
+    def open_fds(self) -> int:
+        return len(self._fds)

@@ -1,0 +1,125 @@
+"""Completion queues with timeout polling.
+
+The paper makes timeout polling a requirement of the datagram design:
+"In order to prevent polling on operations that will never complete (in
+the event that incoming data are lost and no more incoming data are
+expected) it is essential that the completion queue be polled with a
+defined timeout period" (§IV.B.1).  :meth:`CompletionQueue.poll_wait`
+implements exactly that contract: it resolves with completions, or with
+an empty list when the timeout passes first — the caller's signal that
+the operation it was waiting for was lost.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from ...simnet.engine import Future, Simulator
+
+
+class CqError(Exception):
+    """Completion-queue misuse (overflow, ...)."""
+
+
+class CompletionQueue:
+    """FIFO of work completions shared by any number of QPs."""
+
+    def __init__(self, sim: Simulator, host, depth: int = 4096):
+        if depth < 1:
+            raise CqError(f"CQ depth must be positive, got {depth}")
+        self.sim = sim
+        self.host = host
+        self.depth = depth
+        self._entries: Deque = deque()
+        self._waiters: Deque[dict] = deque()
+        self.overflows = 0
+        self.completions_total = 0
+        # Event notification (ibv_req_notify_cq-style): None = disarmed.
+        self._armed: Optional[str] = None
+        self.on_event = None            # callback(cq) fired when armed + match
+        self.events_raised = 0
+
+    # -- event notification ------------------------------------------------
+
+    ARM_NEXT = "next"          # any next completion raises an event
+    ARM_SOLICITED = "solicited"  # only solicited completions do
+
+    def req_notify(self, solicited_only: bool = False) -> None:
+        """Arm the CQ: the next completion (or next *solicited*
+        completion — the send-with-solicited-event machinery the paper
+        contrasts Write-Record against, §IV.B.3) raises one event via
+        ``on_event`` and disarms."""
+        self._armed = self.ARM_SOLICITED if solicited_only else self.ARM_NEXT
+
+    def _maybe_raise_event(self, wc) -> None:
+        if self._armed is None:
+            return
+        if self._armed == self.ARM_SOLICITED and not getattr(wc, "solicited", False):
+            return
+        self._armed = None
+        self.events_raised += 1
+        if self.on_event is not None:
+            # Events are interrupt-like: delivered through the queue so
+            # the handler never runs inside the pushing stack frame.
+            self.sim.schedule(0, self.on_event, self)
+
+    # -- producer side (the stack) ------------------------------------------
+
+    def push(self, wc) -> None:
+        """Add a completion (charges CQE-generation cost upstream)."""
+        self.completions_total += 1
+        self._maybe_raise_event(wc)
+        while self._waiters:
+            waiter = self._waiters[0]
+            if waiter["future"].done:
+                self._waiters.popleft()
+                continue
+            self._waiters.popleft()
+            if waiter["timer"] is not None:
+                waiter["timer"].cancel()
+            self._charge_poll(1)
+            waiter["future"].set_result([wc])
+            return
+        if len(self._entries) >= self.depth:
+            self.overflows += 1
+            return
+        self._entries.append(wc)
+
+    # -- consumer side (the application) ----------------------------------------
+
+    def poll(self, max_entries: int = 1) -> List:
+        """Non-blocking poll: up to ``max_entries`` completions, possibly
+        none."""
+        out = []
+        while self._entries and len(out) < max_entries:
+            out.append(self._entries.popleft())
+        if out:
+            self._charge_poll(len(out))
+        return out
+
+    def poll_wait(self, timeout_ns: Optional[int] = None, max_entries: int = 1) -> Future:
+        """Future resolving to a non-empty completion list, or to ``[]``
+        if ``timeout_ns`` elapses first (the datagram-iWARP loss-detection
+        contract)."""
+        fut = self.sim.future()
+        ready = self.poll(max_entries)
+        if ready:
+            fut.set_result(ready)
+            return fut
+        waiter = {"future": fut, "timer": None}
+        if timeout_ns is not None:
+            waiter["timer"] = self.sim.schedule(timeout_ns, self._expire, waiter)
+        self._waiters.append(waiter)
+        return fut
+
+    def _expire(self, waiter: dict) -> None:
+        if not waiter["future"].done:
+            waiter["future"].set_result([])
+
+    def _charge_poll(self, n: int) -> None:
+        if self.host is not None:
+            self.host.cpu.charge(self.host.costs.poll_ns * n)
+
+    def __len__(self) -> int:
+        return len(self._entries)

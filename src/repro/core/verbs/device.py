@@ -1,0 +1,241 @@
+"""RNIC device: the root verbs object on each host.
+
+Owns the steering-tag registry, protection domains, and QP creation —
+including the connection establishment machinery for RC (TCP connect +
+MPA negotiation) and the datagram QP initialization verb the paper adds
+(§IV.B item 4: "a method for initializing datagram QPs").
+
+Note the paper's §IV.B item 6 for datagrams: "there is no initial set up
+of operating conditions exchanged when the QP is created; the operation
+conditions are set locally" — visible here as ``create_ud_qp`` returning
+a ready QP with no wire traffic, versus ``rc_connect`` which performs a
+full TCP + MPA handshake.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Optional
+
+from ...memory.region import Access, MemoryRegion
+from ...memory.registry import StagRegistry
+from ...simnet.engine import Future, Simulator
+from ...transport.stacks import NetStack
+from ..mpa.connection import MpaConnection
+from .cq import CompletionQueue
+from .qp import RcQp, RcSctpQp, UdQp
+from .wr import Address
+
+#: Default maximum ULPDU on the RC path: sized so one DDP segment plus
+#: MPA framing and markers fits a standard-MTU TCP segment (RFC 5044's
+#: MULPDU guidance).
+DEFAULT_RC_MULPDU = 1408
+
+
+class DeviceError(Exception):
+    """Verbs-level misuse of the device."""
+
+
+class RnicDevice:
+    """One simulated RNIC bound to a host's network stacks."""
+
+    def __init__(self, net: NetStack, rc_mulpdu: int = DEFAULT_RC_MULPDU):
+        if rc_mulpdu < 128:
+            raise DeviceError(f"MULPDU too small: {rc_mulpdu}")
+        self.net = net
+        self.host = net.host
+        self.sim: Simulator = net.sim
+        self.rc_mulpdu = rc_mulpdu
+        self.registry = StagRegistry()
+        self._pds = itertools.count(1)
+        self._listeners = {}
+
+    # -- protection domains & memory -----------------------------------------
+
+    def alloc_pd(self) -> int:
+        return next(self._pds)
+
+    def reg_mr(
+        self,
+        buffer,
+        access: Access = Access.local_only(),
+        pd: int = 0,
+    ) -> MemoryRegion:
+        """Register memory (charges the pin/translate cost)."""
+        mr = self.registry.register(buffer, access, pd_handle=pd)
+        costs = self.host.costs
+        self.host.cpu.charge(
+            costs.reg_mr_fixed_ns + costs.reg_mr_per_page_ns * mr.pages
+        )
+        return mr
+
+    def dereg_mr(self, mr: MemoryRegion) -> None:
+        self.registry.deregister(mr)
+
+    # -- completion queues ------------------------------------------------------
+
+    def create_cq(self, depth: int = 4096) -> CompletionQueue:
+        return CompletionQueue(self.sim, self.host, depth=depth)
+
+    # -- datagram QPs -------------------------------------------------------------
+
+    def create_ud_qp(
+        self,
+        pd: int,
+        sq_cq: CompletionQueue,
+        rq_cq: Optional[CompletionQueue] = None,
+        port: Optional[int] = None,
+        reliable: bool = False,
+    ) -> UdQp:
+        """The new datagram-QP initialization verb.  Ready immediately —
+        no connection setup, no wire traffic."""
+        return UdQp(self, pd, sq_cq, rq_cq or sq_cq, port=port, reliable=reliable)
+
+    # -- connected QPs ---------------------------------------------------------------
+
+    def rc_connect(
+        self,
+        remote: Address,
+        pd: int,
+        sq_cq: CompletionQueue,
+        rq_cq: Optional[CompletionQueue] = None,
+        markers: bool = True,
+        crc: bool = True,
+        transport: str = "tcp",
+    ) -> "QueuePair":
+        """Active side.  ``transport="tcp"`` (the default): TCP connect +
+        MPA negotiation.  ``transport="sctp"``: an SCTP association —
+        message boundaries make the whole MPA layer unnecessary
+        (RFC 5043 shape).  The returned QP's ``ready`` future resolves
+        (with the QP) once it reaches RTS."""
+        if transport == "sctp":
+            assoc = self.net.sctp.connect(remote)
+            return RcSctpQp(self, pd, sq_cq, rq_cq or sq_cq, assoc, remote)
+        if transport != "tcp":
+            raise DeviceError(f"unknown RC transport {transport!r}")
+        sock = self.net.tcp.connect(remote)
+        mpa = MpaConnection(sock, initiator=True, markers=markers, crc=crc)
+        return RcQp(self, pd, sq_cq, rq_cq or sq_cq, mpa, remote)
+
+    def rc_listen(
+        self,
+        port: int,
+        pd: int,
+        sq_cq_factory: Callable[[], CompletionQueue],
+        on_qp: Optional[Callable[[RcQp], None]] = None,
+        markers: bool = True,
+        crc: bool = True,
+        transport: str = "tcp",
+    ) -> "RcListener":
+        if transport == "sctp":
+            listener = RcSctpListener(self, port, pd, sq_cq_factory, on_qp)
+        elif transport == "tcp":
+            listener = RcListener(self, port, pd, sq_cq_factory, on_qp, markers, crc)
+        else:
+            raise DeviceError(f"unknown RC transport {transport!r}")
+        self._listeners[port] = listener
+        return listener
+
+
+class RcListener:
+    """Passive-side RC endpoint: accepts TCP connections, runs MPA
+    negotiation, and hands out ready QPs."""
+
+    def __init__(
+        self,
+        device: RnicDevice,
+        port: int,
+        pd: int,
+        cq_factory: Callable[[], CompletionQueue],
+        on_qp: Optional[Callable[[RcQp], None]],
+        markers: bool,
+        crc: bool,
+    ):
+        self.device = device
+        self.port = port
+        self.pd = pd
+        self.cq_factory = cq_factory
+        self.on_qp = on_qp
+        self.markers = markers
+        self.crc = crc
+        self._pending = []
+        self._waiters = []
+        self._tcp_listener = device.net.tcp.listen(port)
+        self._tcp_listener.on_accept = self._on_tcp_accept
+
+    def _on_tcp_accept(self, sock) -> None:
+        mpa = MpaConnection(sock, initiator=False, markers=self.markers, crc=self.crc)
+        cq = self.cq_factory()
+        qp = RcQp(self.device, self.pd, cq, cq, mpa, sock.remote)
+        qp.ready.add_callback(lambda result: self._on_qp_ready(qp, result))
+
+    def _on_qp_ready(self, qp: RcQp, result) -> None:
+        if result is None:
+            return
+        if self.on_qp is not None:
+            self.on_qp(qp)
+        elif self._waiters:
+            self._waiters.pop(0).set_result(qp)
+        else:
+            self._pending.append(qp)
+
+    def accept_future(self) -> Future:
+        fut = self.device.sim.future()
+        if self._pending:
+            fut.set_result(self._pending.pop(0))
+        else:
+            self._waiters.append(fut)
+        return fut
+
+    def close(self) -> None:
+        self._tcp_listener.close()
+        self.device._listeners.pop(self.port, None)
+
+
+class RcSctpListener:
+    """Passive-side RC-over-SCTP endpoint."""
+
+    def __init__(
+        self,
+        device: RnicDevice,
+        port: int,
+        pd: int,
+        cq_factory: Callable[[], CompletionQueue],
+        on_qp: Optional[Callable] = None,
+    ):
+        self.device = device
+        self.port = port
+        self.pd = pd
+        self.cq_factory = cq_factory
+        self.on_qp = on_qp
+        self._pending = []
+        self._waiters = []
+        self._sctp_listener = device.net.sctp.listen(port)
+        self._sctp_listener.on_accept = self._on_assoc
+
+    def _on_assoc(self, assoc) -> None:
+        cq = self.cq_factory()
+        qp = RcSctpQp(self.device, self.pd, cq, cq, assoc, assoc.remote)
+        qp.ready.add_callback(lambda result: self._on_qp_ready(qp, result))
+
+    def _on_qp_ready(self, qp, result) -> None:
+        if result is None:
+            return
+        if self.on_qp is not None:
+            self.on_qp(qp)
+        elif self._waiters:
+            self._waiters.pop(0).set_result(qp)
+        else:
+            self._pending.append(qp)
+
+    def accept_future(self) -> Future:
+        fut = self.device.sim.future()
+        if self._pending:
+            fut.set_result(self._pending.pop(0))
+        else:
+            self._waiters.append(fut)
+        return fut
+
+    def close(self) -> None:
+        self._sctp_listener.close()
+        self.device._listeners.pop(self.port, None)

@@ -1,0 +1,437 @@
+"""Queue pairs: RC (connected, over MPA/TCP) and UD (datagram, over UDP).
+
+The datagram QP is the paper's central verbs extension (§IV.B item 4):
+"We require a datagram type QP, as well as a method for initializing
+datagram QPs ... verbs that allow for the inclusion of destination
+addresses and ports when posting a send request ... a datagram receive
+verb that allows for the sender's address and port to be reported back".
+All of that is implemented here; the RC QP exists as the faithful
+baseline the paper compares against.
+
+Error semantics follow §IV.B item 2: an RC stream error terminates the
+connection and flushes the QP; a UD QP reports errors (counters, error
+completions) but keeps working.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import Deque, Optional
+
+from ...memory.region import Access
+from ...simnet.engine import Future
+from ...transport.rudp import RudpSocket
+from ...transport.udp import UDP_MAX_PAYLOAD, UdpSocket
+from ..ddp.headers import (
+    CTRL_SIZE, OP_TERMINATE, TAGGED_SIZE, UDEXT_SIZE, UNTAGGED_SIZE,
+    HeaderError, decode_segment,
+)
+from ..mpa.connection import MpaConnection
+from ..mpa.crc import CRC_SIZE, CrcError, append_crc, split_and_verify
+from ..rdmap.engine import RdmapRx, RdmapTx
+from .cq import CompletionQueue
+from .wr import Address, RecvWR, SendWR, WcStatus, WorkCompletion, WrOpcode
+
+# QP states (the subset of the IB/iWARP state machine the software
+# stack distinguishes).
+RESET = "RESET"
+RTS = "RTS"          # ready to send (and receive)
+ERROR = "ERROR"
+
+#: Worst-case DDP header: control + tagged/untagged + UD extension.
+MAX_HEADER = CTRL_SIZE + max(TAGGED_SIZE, UNTAGGED_SIZE) + UDEXT_SIZE
+
+_qp_nums = itertools.count(1)
+
+
+class QpError(Exception):
+    """Invalid verb usage against this QP."""
+
+
+class QueuePair:
+    """State and queues common to both QP types."""
+
+    is_datagram = False
+
+    def __init__(self, device, pd: int, sq_cq: CompletionQueue, rq_cq: CompletionQueue):
+        self.device = device
+        self.host = device.host
+        self.sim = device.sim
+        self.pd = pd
+        self.sq_cq = sq_cq
+        self.rq_cq = rq_cq
+        self.qp_num = next(_qp_nums)
+        self.state = RESET
+        self.rq: Deque[RecvWR] = deque()
+        self.tx = RdmapTx(self)
+        self.rx = RdmapRx(self)
+        self.ready: Future = self.sim.future()
+        self.terminate_reason: Optional[str] = None
+
+    # -- verbs ------------------------------------------------------------
+
+    def post_send(self, wr: SendWR) -> None:
+        if self.state != RTS:
+            raise QpError(f"post_send on QP {self.qp_num} in state {self.state}")
+        self._validate_send(wr)
+        self.tx.post(wr)
+
+    def post_recv(self, wr: RecvWR) -> None:
+        if self.state == ERROR:
+            raise QpError(f"post_recv on QP {self.qp_num} in ERROR state")
+        for sge in wr.sges:
+            if not (sge.mr.access & Access.LOCAL_WRITE):
+                raise QpError("receive SGE lacks LOCAL_WRITE")
+        self.rq.append(wr)
+
+    def _validate_send(self, wr: SendWR) -> None:
+        for sge in wr.sges:
+            if not (sge.mr.access & Access.LOCAL_READ):
+                raise QpError("send SGE lacks LOCAL_READ")
+        if self.is_datagram and wr.dest is None:
+            raise QpError("datagram send requires a destination address")
+        if not self.is_datagram and wr.dest is not None:
+            raise QpError("connected QPs do not take per-WR destinations")
+
+    # -- hooks used by the engines ---------------------------------------------
+
+    def pop_recv(self) -> Optional[RecvWR]:
+        return self.rq.popleft() if self.rq else None
+
+    def push_rq_completion(self, wc: WorkCompletion) -> None:
+        self.host.cpu.submit(self.host.costs.cqe_ns, self.rq_cq.push, wc)
+
+    def channel_send(
+        self, seg, dest: Optional[Address], first: bool = True, msg_len: int = 0
+    ) -> None:
+        """Emit one DDP segment.  ``first`` marks the first segment of an
+        RDMAP message and ``msg_len`` its total length — used to charge
+        per-message (as opposed to per-segment) costs at the right
+        moment."""
+        raise NotImplementedError
+
+    @property
+    def max_seg_payload(self) -> int:
+        raise NotImplementedError
+
+    # -- teardown ---------------------------------------------------------------
+
+    def terminate(self, reason: str) -> None:
+        """Local fatal error: notify the peer, error the QP (RC only —
+        UD QPs never call this for data-path errors)."""
+        if self.state == ERROR:
+            return
+        try:
+            self.tx.send_terminate(reason)
+        except Exception:
+            pass
+        self._enter_error(reason)
+
+    def on_remote_terminate(self, reason: str) -> None:
+        if self.is_datagram:
+            # Reported, not fatal (§IV.B item 2).
+            self.terminate_reason = reason
+            return
+        self._enter_error(reason)
+
+    def _enter_error(self, reason: str) -> None:
+        self.state = ERROR
+        self.terminate_reason = reason
+        # Flush outstanding receives so pollers see the teardown.
+        while self.rq:
+            wr = self.rq.popleft()
+            self.rq_cq.push(
+                WorkCompletion(
+                    wr_id=wr.wr_id, opcode=WrOpcode.SEND, status=WcStatus.FLUSHED
+                )
+            )
+        if not self.ready.done:
+            self.ready.set_result(None)
+
+
+class UdQp(QueuePair):
+    """Datagram QP over UDP (or reliable-UDP when ``reliable=True``).
+
+    One UD QP can exchange messages with any number of peers — the
+    scalability property the paper's memory study banks on.
+    """
+
+    is_datagram = True
+
+    def __init__(
+        self,
+        device,
+        pd: int,
+        sq_cq: CompletionQueue,
+        rq_cq: CompletionQueue,
+        port: Optional[int] = None,
+        reliable: bool = False,
+    ):
+        super().__init__(device, pd, sq_cq, rq_cq)
+        self.reliable = reliable
+        udp_sock = device.net.udp.socket(port)
+        if reliable:
+            self.rd = RudpSocket(udp_sock)
+            self.rd.on_message = self._on_datagram
+            self._sock = self.rd
+            overhead = MAX_HEADER + CRC_SIZE + 9  # + RUDP header
+        else:
+            self.rd = None
+            udp_sock.on_datagram = self._on_datagram
+            self._sock = udp_sock
+            overhead = MAX_HEADER + CRC_SIZE
+        self._udp_sock = udp_sock
+        self._max_seg = UDP_MAX_PAYLOAD - overhead
+        self.crc_drops = 0
+        self.drops_closed = 0
+        self.state = RTS
+        self.ready.set_result(self)
+
+    @property
+    def address(self) -> Address:
+        return (self.host.host_id, self._udp_sock.port)
+
+    @property
+    def max_seg_payload(self) -> int:
+        return self._max_seg
+
+    # -- transmit ---------------------------------------------------------
+
+    def channel_send(
+        self, seg, dest: Optional[Address], first: bool = True, msg_len: int = 0
+    ) -> None:
+        if dest is None:
+            raise QpError("UD segment without destination")
+        if dest[0] == -1 and self.reliable:
+            # Reliable datagrams are peer-to-peer: per-peer ACK state
+            # cannot exist for a flooded destination.
+            raise QpError("multicast requires an unreliable (UD) QP")
+        costs = self.host.costs
+        cost = costs.ddp_tx_per_seg_ns + costs.crc_ns(len(seg.payload))
+        if seg.tagged:
+            cost += costs.ddp_tagged_validate_ns
+        if not self.reliable:
+            # Fold the kernel sendto() path into the same charge so the
+            # whole per-segment send cost is one CPU work item — the
+            # message's segments then pipeline onto the wire.  (RD mode
+            # keeps the charged socket path: retransmissions must pay.)
+            wire_len = seg.wire_size + CRC_SIZE
+            nfrags = self.device.net.ip.fragments_needed(wire_len + 8)
+            cost += (
+                costs.syscall_ns
+                + costs.udp_tx_fixed_ns
+                + costs.copy_ns(wire_len)
+                + costs.ip_tx_per_frag_ns * nfrags
+            )
+        self.host.cpu.submit(cost, self._emit, seg, dest)
+
+    def _emit(self, seg, dest: Address) -> None:
+        if self._udp_sock.closed:
+            # The application closed the socket with emissions still
+            # queued in the stack: datagram semantics, the data is gone.
+            self.drops_closed += 1
+            return
+        data = append_crc(seg.encode())
+        if self.reliable:
+            self._sock.sendto(data, dest)
+        else:
+            self._udp_sock.sendto_uncharged(data, dest)
+
+    # -- receive ------------------------------------------------------------
+
+    def _on_datagram(self, data: bytes, src: Address) -> None:
+        try:
+            body = split_and_verify(data)
+            seg = decode_segment(body, ud=True)
+        except (CrcError, HeaderError):
+            self.crc_drops += 1
+            return
+        costs = self.host.costs
+        cost = costs.ddp_rx_per_seg_ns + costs.crc_ns(len(data))
+        if seg.tagged:
+            cost += costs.ddp_tagged_validate_ns
+        else:
+            cost += costs.ddp_untagged_match_ns
+        cost += int(costs.placement_per_byte_ns * len(seg.payload))
+        self.host.cpu.submit(cost, self.rx.on_segment, seg, src)
+
+    def close(self) -> None:
+        self._sock.close()
+        self.state = ERROR
+
+
+class RcQp(QueuePair):
+    """Connected QP over MPA/TCP — the traditional iWARP baseline."""
+
+    is_datagram = False
+
+    def __init__(
+        self,
+        device,
+        pd: int,
+        sq_cq: CompletionQueue,
+        rq_cq: CompletionQueue,
+        mpa: MpaConnection,
+        remote: Address,
+    ):
+        super().__init__(device, pd, sq_cq, rq_cq)
+        self.mpa = mpa
+        self.remote = remote
+        self._max_seg = device.rc_mulpdu - MAX_HEADER
+        mpa.on_ulpdu = self._on_ulpdu
+        mpa.on_error = lambda exc: self._enter_error(str(exc))
+        mpa.ready.add_callback(self._on_mpa_ready)
+
+    def _on_mpa_ready(self, result) -> None:
+        if result is None:
+            self._enter_error("MPA negotiation failed")
+            return
+        self.state = RTS
+        if not self.ready.done:
+            self.ready.set_result(self)
+
+    @property
+    def max_seg_payload(self) -> int:
+        return self._max_seg
+
+    # -- transmit ---------------------------------------------------------
+
+    def channel_send(
+        self, seg, dest: Optional[Address], first: bool = True, msg_len: int = 0
+    ) -> None:
+        costs = self.host.costs
+        cost = costs.ddp_tx_per_seg_ns
+        if seg.tagged:
+            cost += costs.ddp_tagged_validate_ns
+        if first:
+            # One send() call covers the whole message's FPDU train
+            # (writev batching): syscall + kernel fixed + user->kernel copy.
+            cost += costs.syscall_ns + costs.tcp_tx_fixed_ns + costs.copy_ns(msg_len)
+        cost += self.mpa.frame_cost_ns(seg.wire_size)
+        self.host.cpu.submit(cost, self._emit, seg)
+
+    def _emit(self, seg) -> None:
+        if self.mpa.state != "OPERATIONAL":
+            return
+        if self.state == ERROR and seg.opcode != OP_TERMINATE:
+            # Once errored only the TERMINATE notification may leave.
+            return
+        self.mpa.emit_ulpdu_now(seg.encode())
+
+    # -- receive ------------------------------------------------------------
+
+    def _on_ulpdu(self, ulpdu: bytes) -> None:
+        try:
+            seg = decode_segment(ulpdu, ud=False)
+        except HeaderError:
+            self.terminate("malformed DDP segment")
+            return
+        costs = self.host.costs
+        cost = costs.ddp_rx_per_seg_ns
+        if seg.tagged:
+            cost += costs.ddp_tagged_validate_ns
+            # The RC software stack stages tagged payloads through an
+            # intermediate buffer (CALIBRATED — see CostModel).
+            cost += int(
+                (costs.placement_per_byte_ns + costs.rc_tagged_staging_per_byte_ns)
+                * len(seg.payload)
+            )
+        else:
+            cost += costs.ddp_untagged_match_ns
+            cost += int(costs.placement_per_byte_ns * len(seg.payload))
+        if seg.last:
+            # The user-space library's per-message recv/select syscalls.
+            cost += costs.tcp_rx_syscalls_per_msg * costs.syscall_ns
+        self.host.cpu.submit(cost, self.rx.on_segment, seg, self.remote)
+
+    def close(self) -> None:
+        self.mpa.close()
+        self.state = ERROR
+
+
+class RcSctpQp(QueuePair):
+    """Connected QP over SCTP — the standard's other LLP (RFC 5043
+    shape): SCTP's own message boundaries replace the entire MPA layer,
+    and its built-in CRC32c replaces the DDP-level CRC.  Everything else
+    (in-order MSN matching, fatal stream errors, the RC software stack's
+    tagged staging) matches the TCP-based RC QP, so comparing the two
+    isolates exactly the TCP-adaptation overhead the paper discusses in
+    §IV.A."""
+
+    is_datagram = False
+
+    def __init__(
+        self,
+        device,
+        pd: int,
+        sq_cq: CompletionQueue,
+        rq_cq: CompletionQueue,
+        assoc,
+        remote: Address,
+    ):
+        super().__init__(device, pd, sq_cq, rq_cq)
+        self.assoc = assoc
+        self.remote = remote
+        self._max_seg = assoc.max_message - MAX_HEADER
+        assoc.on_message = self._on_message
+        assoc.established.add_callback(self._on_assoc_ready)
+
+    def _on_assoc_ready(self, result) -> None:
+        if result is None:
+            self._enter_error("SCTP association failed")
+            return
+        self.state = RTS
+        if not self.ready.done:
+            self.ready.set_result(self)
+
+    @property
+    def max_seg_payload(self) -> int:
+        return self._max_seg
+
+    # -- transmit ---------------------------------------------------------
+
+    def channel_send(
+        self, seg, dest: Optional[Address], first: bool = True, msg_len: int = 0
+    ) -> None:
+        costs = self.host.costs
+        cost = costs.ddp_tx_per_seg_ns
+        if seg.tagged:
+            cost += costs.ddp_tagged_validate_ns
+        if first:
+            cost += costs.syscall_ns + costs.tcp_tx_fixed_ns + costs.copy_ns(msg_len)
+        self.host.cpu.submit(cost, self._emit, seg)
+
+    def _emit(self, seg) -> None:
+        if self.assoc.state == "CLOSED":
+            return
+        if self.state == ERROR and seg.opcode != OP_TERMINATE:
+            return
+        self.assoc.send_message(seg.encode())
+
+    # -- receive ------------------------------------------------------------
+
+    def _on_message(self, data: bytes) -> None:
+        try:
+            seg = decode_segment(data, ud=False)
+        except HeaderError:
+            self.terminate("malformed DDP segment")
+            return
+        costs = self.host.costs
+        cost = costs.ddp_rx_per_seg_ns
+        if seg.tagged:
+            cost += costs.ddp_tagged_validate_ns
+            cost += int(
+                (costs.placement_per_byte_ns + costs.rc_tagged_staging_per_byte_ns)
+                * len(seg.payload)
+            )
+        else:
+            cost += costs.ddp_untagged_match_ns
+            cost += int(costs.placement_per_byte_ns * len(seg.payload))
+        if seg.last:
+            cost += costs.tcp_rx_syscalls_per_msg * costs.syscall_ns
+        self.host.cpu.submit(cost, self.rx.on_segment, seg, self.remote)
+
+    def close(self) -> None:
+        self.assoc.shutdown()
+        self.state = ERROR

@@ -1,0 +1,13 @@
+"""Registered memory, steering tags, validity maps, footprint accounting."""
+
+from .accounting import FootprintModel, MemoryMeter
+from .region import Access, MemoryAccessError, MemoryRegion, RegionKey
+from .registry import StagRegistry
+from .sge import Sge, gather, scatter, sge_total
+from .validity import ValidityMap
+
+__all__ = [
+    "Access", "FootprintModel", "MemoryAccessError", "MemoryMeter",
+    "MemoryRegion", "RegionKey", "Sge", "StagRegistry", "ValidityMap",
+    "gather", "scatter", "sge_total",
+]

@@ -1,0 +1,6 @@
+"""Calibrated cost and platform models for the paper's testbed."""
+
+from .costs import CostModel, default_cost_model, zero_cost_model
+from .platform import Platform, paper_defaults
+
+__all__ = ["CostModel", "Platform", "default_cost_model", "paper_defaults", "zero_cost_model"]

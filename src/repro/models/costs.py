@@ -1,0 +1,199 @@
+"""Calibrated CPU cost model for the software datagram-iWARP stack.
+
+The paper evaluates a **software** (user-space) iWARP implementation over
+kernel UDP/TCP sockets on 2 GHz Opteron nodes with 10-GigE NICs.  On that
+platform the stack is CPU-bound (peak ~250 MB/s on a 10 Gb/s link), so
+what determines every curve in Figs. 5–8 is how much CPU work each path
+performs per message, per segment, and per byte.
+
+This module centralizes those costs.  Each constant is either
+
+* a *mechanistic* estimate (e.g. memcpy on a 2009-era Opteron sustains
+  roughly 1.3 GB/s end-to-end once both cache misses and the kernel's
+  copy routines are accounted for, giving ~0.75 ns/byte), or
+* a *calibration* against the paper's measured numbers where the software
+  artifact cannot be derived from first principles (flagged ``CALIBRATED``
+  in the comment).  EXPERIMENTS.md records how well the resulting shapes
+  match.
+
+Charging points (who pays what) are documented on each field; the
+protocol implementations in :mod:`repro.transport` and :mod:`repro.core`
+consult exactly these fields, so re-calibrating the model re-shapes every
+experiment coherently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+
+@dataclass
+class CostModel:
+    """Per-operation and per-byte CPU costs, in nanoseconds.
+
+    All byte costs are ns/byte (float); all fixed costs are ns (int).
+    """
+
+    # ------------------------------------------------------------------
+    # Generic kernel costs
+    # ------------------------------------------------------------------
+    #: One system call (entry + exit + basic socket lookup).
+    syscall_ns: int = 3_000
+    #: Taking an interrupt + driver/NAPI entry.  Charged only when the
+    #: receive path is idle (NAPI polls under load, so back-to-back
+    #: arrivals don't each pay it) — this is what lets per-message receive
+    #: cost shrink in the bandwidth tests relative to the latency tests.
+    interrupt_ns: int = 2_500
+    #: memcpy between user and kernel space (or between user buffers).
+    copy_per_byte_ns: float = 0.65
+
+    # ------------------------------------------------------------------
+    # IP layer
+    # ------------------------------------------------------------------
+    #: Per-fragment transmit work (header build, route lookup amortized).
+    ip_tx_per_frag_ns: int = 700
+    #: Per-fragment receive work (validation, reassembly bookkeeping —
+    #: kernel IP reassembly is markedly heavier than TCP's per-segment
+    #: fast path, which is part of why mid-sized UD messages lose the
+    #: latency race to RC in Fig. 5's 16-64 KB band).
+    ip_rx_per_frag_ns: int = 1_400
+
+    # ------------------------------------------------------------------
+    # UDP
+    # ------------------------------------------------------------------
+    #: Fixed cost of a sendto() through the UDP/IP stack (socket lock,
+    #: skb alloc, port demux on top of the syscall itself).
+    udp_tx_fixed_ns: int = 5_000
+    #: Fixed cost of delivering a completed datagram to a socket.
+    udp_rx_fixed_ns: int = 6_000
+    #: UDP checksum.  The paper recommends disabling it because the
+    #: datagram-iWARP DDP layer always runs CRC32 (§V); 0 reflects that
+    #: recommended configuration.  The CRC-placement ablation re-enables it.
+    udp_checksum_per_byte_ns: float = 0.0
+
+    # ------------------------------------------------------------------
+    # TCP
+    # ------------------------------------------------------------------
+    #: Fixed cost of a send() on an established connection.
+    tcp_tx_fixed_ns: int = 8_000
+    #: Per-segment transmit cost (segmentation, header, timers).
+    tcp_tx_per_seg_ns: int = 900
+    #: Per-segment receive cost (sequence processing, reassembly, ack
+    #: decision) — the heart of TCP's per-packet overhead the paper's
+    #: motivation cites.
+    tcp_rx_per_seg_ns: int = 1_000
+    #: Building + sending a pure ACK.
+    tcp_ack_tx_ns: int = 1_200
+    #: Processing a received ACK on the sender.
+    tcp_ack_rx_ns: int = 1_000
+    #: Software TCP checksum on the receive path (the user-level stack
+    #: cannot rely on NIC offload once data is copied around).
+    tcp_checksum_per_byte_ns: float = 0.25
+    #: Number of recv()/select() syscalls the user-space iWARP library
+    #: issues per arriving RDMAP *message* on the TCP path (readiness
+    #: poll + header peek + payload read).  Charged at message
+    #: completion.  CALIBRATED.
+    tcp_rx_syscalls_per_msg: int = 3
+
+    # ------------------------------------------------------------------
+    # iWARP: verbs / RDMAP / DDP (both transports)
+    # ------------------------------------------------------------------
+    #: Posting a work request (verbs + RDMAP entry).
+    verbs_post_ns: int = 1_000
+    #: Per-DDP-segment transmit processing (header build, iovec setup).
+    ddp_tx_per_seg_ns: int = 800
+    #: Per-DDP-segment receive processing (header parse, validation).
+    ddp_rx_per_seg_ns: int = 600
+    #: Untagged-model receive-queue matching (finding the posted WR).
+    ddp_untagged_match_ns: int = 500
+    #: Tagged-model STag validation + placement setup.
+    ddp_tagged_validate_ns: int = 400
+    #: CRC32 over the payload (required by datagram-iWARP, §IV.B item 6).
+    crc_per_byte_ns: float = 1.5
+    crc_fixed_ns: int = 300
+    #: Writing received data to its final location (tagged placement or
+    #: copy into the posted receive buffer).
+    placement_per_byte_ns: float = 0.9
+    #: Extra per-byte on UD send/recv reassembly of multi-segment messages
+    #: (the stack-level recombination described in §IV.B.1).
+    reassembly_per_byte_ns: float = 0.8
+    #: Creating a completion-queue entry.
+    cqe_ns: int = 500
+    #: Application poll picking up a completion (the successful poll; idle
+    #: polls are free because the benchmark loops block in simulation).
+    poll_ns: int = 1_500
+    #: Memory registration: pinning + STag setup.
+    reg_mr_fixed_ns: int = 15_000
+    reg_mr_per_page_ns: int = 350
+
+    # ------------------------------------------------------------------
+    # MPA (RC path only; bypassed for datagrams — §IV.B item 5)
+    # ------------------------------------------------------------------
+    #: Building one FPDU (length framing + padding bookkeeping).
+    mpa_fpdu_ns: int = 300
+    #: Inserting/stripping one marker (every 512 B of TCP stream).
+    mpa_marker_ns: int = 120
+    #: Stream staging copy for marker insertion/removal.  Packet marking
+    #: is "a high overhead activity ... very expensive" (§IV.A); in the
+    #: software stack it forces an extra pass over the data.
+    mpa_copy_per_byte_ns: float = 0.2
+
+    # ------------------------------------------------------------------
+    # RC tagged-path staging (CALIBRATED)
+    # ------------------------------------------------------------------
+    #: Extra per-byte on the RC RDMA Write path.  The paper's measured RC
+    #: RDMA Write bandwidth is ~3.5x below UD Write-Record at 512 KB
+    #: (Fig. 6), far below what MPA+TCP costs alone explain; the
+    #: OSC-derived software stack stages tagged messages through an
+    #: intermediate buffer on both sides.  Calibrated to reproduce the
+    #: 256 % headline gap.
+    rc_tagged_staging_per_byte_ns: float = 8.0
+
+    # ------------------------------------------------------------------
+    # Socket interface shim (§V.A)
+    # ------------------------------------------------------------------
+    #: fd -> QP lookup + call interception overhead per data operation.
+    shim_dispatch_ns: int = 500
+    #: Copy into the user-supplied buffer (the paper's shim copies rather
+    #: than re-advertising buffers, §VI.B.1 — this is why s/r and
+    #: Write-Record perform identically through the shim).
+    shim_copy_per_byte_ns: float = 0.65
+
+    # ------------------------------------------------------------------
+    # Derived helpers
+    # ------------------------------------------------------------------
+    def crc_ns(self, nbytes: int) -> int:
+        return self.crc_fixed_ns + int(self.crc_per_byte_ns * nbytes)
+
+    def copy_ns(self, nbytes: int) -> int:
+        return int(self.copy_per_byte_ns * nbytes)
+
+    def with_overrides(self, **kw) -> "CostModel":
+        """A copy of this model with selected fields replaced (ablations)."""
+        return replace(self, **kw)
+
+    def describe(self) -> Dict[str, float]:
+        """Flat dict of all constants (for reports / EXPERIMENTS.md)."""
+        return {k: getattr(self, k) for k in self.__dataclass_fields__}
+
+
+def default_cost_model() -> CostModel:
+    """The calibration used for all paper-reproduction experiments."""
+    return CostModel()
+
+
+def zero_cost_model() -> CostModel:
+    """All CPU costs zero — used by functional tests that only care about
+    protocol correctness and want wire-time-only scheduling."""
+    fields = {
+        name: (0 if isinstance(getattr(CostModel, name, 0), int) else 0.0)
+        for name in CostModel.__dataclass_fields__
+    }
+    # dataclass defaults aren't accessible via getattr on the class for
+    # fields without class-level values; build explicitly instead.
+    kwargs = {}
+    for name, f in CostModel.__dataclass_fields__.items():
+        kwargs[name] = 0 if f.type == "int" else 0.0
+    kwargs["tcp_rx_syscalls_per_msg"] = 0
+    return CostModel(**kwargs)

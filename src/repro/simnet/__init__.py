@@ -1,0 +1,28 @@
+"""Discrete-event network simulator: the testbed substrate.
+
+Stands in for the paper's two-node 10-GigE platform: an event engine
+with integer-nanosecond time, serialized per-host CPUs (the software
+iWARP stack is CPU-bound), NICs with FIFO egress queues where loss is
+injected ``tc``-style, a store-and-forward switch, and full-duplex
+links.
+"""
+
+from .cpu import CpuResource
+from .engine import MS, NS, SEC, US, AnyOf, Event, Future, Process, SimulationError, Simulator, Timeout
+from .host import Host
+from .link import Link
+from .loss import BernoulliLoss, BitErrorModel, ExplicitLoss, GilbertElliottLoss, LossModel, NoLoss, PatternLoss
+from .nic import NicPort, cable
+from .packet import BROADCAST, ETH_MTU, ETH_OVERHEAD, Frame, serialization_ns
+from .switch import Switch
+from .topology import Testbed, build_testbed
+from .trace import TraceRecord, Tracer
+
+__all__ = [
+    "AnyOf", "BROADCAST", "BernoulliLoss", "BitErrorModel", "CpuResource", "ETH_MTU",
+    "ETH_OVERHEAD", "Event", "ExplicitLoss", "Frame", "Future",
+    "GilbertElliottLoss", "Host", "Link", "LossModel", "MS", "NS",
+    "NicPort", "NoLoss", "PatternLoss", "Process", "SEC", "SimulationError",
+    "Simulator", "Switch", "Testbed", "Timeout", "TraceRecord", "Tracer",
+    "US", "build_testbed", "cable", "serialization_ns",
+]

@@ -1,0 +1,278 @@
+"""Discrete-event simulation engine.
+
+The engine is the substrate everything else in :mod:`repro` runs on: it
+stands in for the wall clock of the paper's two-node 10-GigE testbed.
+Time is kept in **integer nanoseconds** so event ordering is exact and
+runs are bit-for-bit reproducible.
+
+Two programming styles are supported:
+
+* **callback style** — ``sim.schedule(delay_ns, fn, *args)``; used by the
+  protocol stacks, which are naturally event-driven.
+* **process style** — generator coroutines driven by :class:`Process`
+  (a deliberately small simpy-like facility); used by applications and
+  benchmarks, which read much better as sequential code::
+
+      def client(sim, sock):
+          yield sim.timeout(1 * MS)
+          fut = sock.recv_future()
+          data, src = yield fut
+
+Yielding an ``int`` sleeps that many nanoseconds; yielding a
+:class:`Future` suspends until its result is set.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+# Convenient time-unit multipliers (all in nanoseconds).
+NS = 1
+US = 1_000
+MS = 1_000_000
+SEC = 1_000_000_000
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid uses of the simulation engine."""
+
+
+class Event:
+    """A scheduled callback.  Returned by :meth:`Simulator.schedule` so the
+    caller can cancel it (e.g. a retransmission timer that is no longer
+    needed)."""
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: int, seq: int, fn: Callable, args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running.  Safe to call repeatedly,
+        and safe to call after the event has fired (a no-op)."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<Event t={self.time} {getattr(self.fn, '__name__', self.fn)} {state}>"
+
+
+class Future:
+    """A one-shot value a :class:`Process` can wait on.
+
+    Protocol objects hand futures to application processes ("the next
+    datagram", "connection established", ...).  Multiple waiters are
+    allowed; all are resumed with the same result.
+    """
+
+    __slots__ = ("sim", "done", "value", "_callbacks")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.done = False
+        self.value: Any = None
+        self._callbacks: List[Callable[[Any], None]] = []
+
+    def set_result(self, value: Any = None) -> None:
+        if self.done:
+            raise SimulationError("Future already resolved")
+        self.done = True
+        self.value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            # Resume waiters through the event queue so resumption order
+            # is deterministic and re-entrancy is impossible.
+            self.sim.schedule(0, cb, value)
+
+    def add_callback(self, cb: Callable[[Any], None]) -> None:
+        if self.done:
+            self.sim.schedule(0, cb, self.value)
+        else:
+            self._callbacks.append(cb)
+
+
+class Timeout:
+    """Yieldable sleep marker (``yield sim.timeout(10 * US)``)."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: int):
+        if delay < 0:
+            raise SimulationError(f"negative timeout: {delay}")
+        self.delay = int(delay)
+
+
+class AnyOf:
+    """Wait for the first of several futures; yields ``(index, value)``."""
+
+    __slots__ = ("futures",)
+
+    def __init__(self, futures: Iterable[Future]):
+        self.futures = list(futures)
+
+
+class Process:
+    """Drives a generator coroutine inside the simulation.
+
+    The generator may yield:
+
+    * an ``int`` or :class:`Timeout` — sleep,
+    * a :class:`Future` — wait for its value (sent back into the generator),
+    * an :class:`AnyOf` — wait for the first of several futures,
+    * another :class:`Process` — wait for it to finish (its return value is
+      sent back).
+
+    When the generator returns, :attr:`result` holds its return value and
+    :attr:`finished` becomes a resolved :class:`Future`.
+    """
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
+        self.sim = sim
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self.result: Any = None
+        self.finished = Future(sim)
+        self._fired = False
+        sim.schedule(0, self._step, None)
+
+    def _step(self, send_value: Any) -> None:
+        try:
+            yielded = self.gen.send(send_value)
+        except StopIteration as stop:
+            self.result = stop.value
+            self.finished.set_result(stop.value)
+            return
+        self._dispatch(yielded)
+
+    def _dispatch(self, yielded: Any) -> None:
+        if isinstance(yielded, int):
+            self.sim.schedule(yielded, self._step, None)
+        elif isinstance(yielded, Timeout):
+            self.sim.schedule(yielded.delay, self._step, None)
+        elif isinstance(yielded, Future):
+            yielded.add_callback(self._step)
+        elif isinstance(yielded, Process):
+            yielded.finished.add_callback(self._step)
+        elif isinstance(yielded, AnyOf):
+            self._wait_any(yielded)
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded unsupported value {yielded!r}"
+            )
+
+    def _wait_any(self, anyof: AnyOf) -> None:
+        fired = {"done": False}
+
+        def make_cb(i: int) -> Callable[[Any], None]:
+            def cb(value: Any) -> None:
+                if fired["done"]:
+                    return
+                fired["done"] = True
+                self._step((i, value))
+
+            return cb
+
+        for i, fut in enumerate(anyof.futures):
+            fut.add_callback(make_cb(i))
+
+
+class Simulator:
+    """The event loop.  One instance per experiment run."""
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._heap: List[Event] = []
+        self._seq: int = 0
+        self.events_processed: int = 0
+
+    # -- scheduling ------------------------------------------------------
+
+    def schedule(self, delay_ns: int, fn: Callable, *args: Any) -> Event:
+        """Run ``fn(*args)`` ``delay_ns`` nanoseconds from now."""
+        if delay_ns < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay_ns})")
+        return self.at(self.now + int(delay_ns), fn, *args)
+
+    def at(self, time_ns: int, fn: Callable, *args: Any) -> Event:
+        """Run ``fn(*args)`` at absolute simulated time ``time_ns``."""
+        if time_ns < self.now:
+            raise SimulationError(
+                f"cannot schedule at t={time_ns} before now={self.now}"
+            )
+        self._seq += 1
+        ev = Event(int(time_ns), self._seq, fn, args)
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    # -- process/future helpers -----------------------------------------
+
+    def timeout(self, delay_ns: int) -> Timeout:
+        return Timeout(delay_ns)
+
+    def future(self) -> Future:
+        return Future(self)
+
+    def process(self, gen: Generator, name: str = "") -> Process:
+        return Process(self, gen, name)
+
+    def any_of(self, futures: Iterable[Future]) -> AnyOf:
+        return AnyOf(futures)
+
+    # -- running ---------------------------------------------------------
+
+    def run(
+        self,
+        until: Optional[int] = None,
+        max_events: Optional[int] = None,
+    ) -> int:
+        """Process events until the queue is empty, the clock passes
+        ``until``, or ``max_events`` have been processed.  Returns the
+        number of events processed by this call."""
+        processed = 0
+        while self._heap:
+            ev = self._heap[0]
+            if until is not None and ev.time > until:
+                self.now = until
+                break
+            heapq.heappop(self._heap)
+            if ev.cancelled:
+                continue
+            self.now = ev.time
+            ev.fn(*ev.args)
+            processed += 1
+            self.events_processed += 1
+            if max_events is not None and processed >= max_events:
+                break
+        else:
+            if until is not None and until > self.now:
+                self.now = until
+        return processed
+
+    def run_until(self, fut: Future, limit: Optional[int] = None) -> Any:
+        """Run until ``fut`` resolves; returns its value.
+
+        Raises :class:`SimulationError` if the event queue drains (or the
+        optional time ``limit`` passes) first — that always indicates a
+        deadlock in the experiment being simulated.
+        """
+        while not fut.done:
+            if not self._heap:
+                raise SimulationError("event queue drained before future resolved")
+            if limit is not None and self._heap[0].time > limit:
+                raise SimulationError(f"future unresolved at time limit {limit}")
+            self.run(max_events=1)
+        # Drain the zero-delay resumption cascade so callers observe a
+        # settled state (e.g. process bookkeeping done at the same instant).
+        return fut.value
+
+    def pending(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for e in self._heap if not e.cancelled)

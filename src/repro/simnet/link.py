@@ -1,0 +1,66 @@
+"""Point-to-point full-duplex link.
+
+A link joins two ports (host NICs or switch ports).  Each direction has
+independent capacity: bandwidth sets serialization time, ``delay_ns`` is
+propagation.  The *sending port* owns the transmit queue and performs
+serialization (see :mod:`repro.simnet.nic`); the link only knows who is
+on each end and the physical parameters.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .packet import ETH_MTU
+
+
+class Link:
+    """Physical parameters of a cable plus its two endpoints.
+
+    Endpoints are attached with :meth:`attach`; each must expose
+    ``on_frame(frame)`` (called when a frame fully arrives) and have the
+    link assigned to its ``link`` attribute by the caller.
+    """
+
+    def __init__(
+        self,
+        bandwidth_bps: float = 10e9,
+        delay_ns: int = 500,
+        mtu: int = ETH_MTU,
+        name: str = "",
+    ):
+        if bandwidth_bps <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth_bps}")
+        if delay_ns < 0:
+            raise ValueError(f"negative propagation delay: {delay_ns}")
+        if mtu < 576:
+            # 576 is the minimum IP MTU; anything smaller breaks fragmentation.
+            raise ValueError(f"MTU too small: {mtu}")
+        self.bandwidth_bps = float(bandwidth_bps)
+        self.delay_ns = int(delay_ns)
+        self.mtu = int(mtu)
+        self.name = name
+        self._a = None
+        self._b = None
+
+    def attach(self, a, b) -> None:
+        """Connect the two endpoint ports."""
+        if self._a is not None or self._b is not None:
+            raise RuntimeError(f"link {self.name!r} already attached")
+        self._a, self._b = a, b
+
+    def peer_of(self, port):
+        """The port on the other end from ``port``."""
+        if port is self._a:
+            return self._b
+        if port is self._b:
+            return self._a
+        raise ValueError("port is not attached to this link")
+
+    @property
+    def attached(self) -> bool:
+        return self._a is not None and self._b is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        gbps = self.bandwidth_bps / 1e9
+        return f"<Link {self.name!r} {gbps:g}Gb/s delay={self.delay_ns}ns mtu={self.mtu}>"

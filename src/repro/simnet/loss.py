@@ -1,0 +1,214 @@
+"""Packet-loss models.
+
+The paper injects loss with Linux ``tc``: a FIFO queue that "normally
+dequeues messages as fast as they can be delivered to the underlying
+hardware was configured to drop packets at a defined rate" (§VI.A.2).
+We attach loss models at the same point — the NIC egress queue — so a
+dropped packet never consumes wire time, exactly like ``tc`` netem.
+
+All models draw from their own seeded :class:`random.Random` so loss
+patterns are reproducible and independent of any other randomness.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from .packet import Frame
+
+
+class LossModel:
+    """Base class: decides, per frame, whether the egress queue drops it."""
+
+    def should_drop(self, frame: Frame) -> bool:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Restore the model to its initial state (reseeding RNGs)."""
+
+
+class NoLoss(LossModel):
+    """Lossless egress (the default)."""
+
+    def should_drop(self, frame: Frame) -> bool:
+        return False
+
+
+class BernoulliLoss(LossModel):
+    """Independent drop with probability ``rate`` — the model the paper's
+    ``tc`` configuration implements (0.1 %, 0.5 %, 1 %, 5 % in Figs. 7–8)."""
+
+    def __init__(self, rate: float, seed: int = 0):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"loss rate must be in [0, 1], got {rate}")
+        self.rate = rate
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self.dropped = 0
+        self.seen = 0
+
+    def should_drop(self, frame: Frame) -> bool:
+        self.seen += 1
+        if self.rate > 0.0 and self._rng.random() < self.rate:
+            self.dropped += 1
+            return True
+        return False
+
+    def reset(self) -> None:
+        self._rng = random.Random(self.seed)
+        self.dropped = 0
+        self.seen = 0
+
+
+class GilbertElliottLoss(LossModel):
+    """Two-state bursty loss (good/bad channel).
+
+    WAN loss is bursty rather than independent; the Gilbert-Elliott model
+    is the standard way to express that.  ``p_gb``/``p_bg`` are the
+    per-frame transition probabilities good→bad and bad→good;
+    ``loss_good``/``loss_bad`` the drop probabilities within each state.
+    """
+
+    def __init__(
+        self,
+        p_gb: float,
+        p_bg: float,
+        loss_good: float = 0.0,
+        loss_bad: float = 1.0,
+        seed: int = 0,
+    ):
+        for name, v in (
+            ("p_gb", p_gb),
+            ("p_bg", p_bg),
+            ("loss_good", loss_good),
+            ("loss_bad", loss_bad),
+        ):
+            if not 0.0 <= v <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {v}")
+        self.p_gb = p_gb
+        self.p_bg = p_bg
+        self.loss_good = loss_good
+        self.loss_bad = loss_bad
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self.bad = False
+        self.dropped = 0
+        self.seen = 0
+
+    def average_loss_rate(self) -> float:
+        """Stationary loss rate implied by the chain parameters."""
+        denom = self.p_gb + self.p_bg
+        if denom == 0:
+            return self.loss_bad if self.bad else self.loss_good
+        pi_bad = self.p_gb / denom
+        return pi_bad * self.loss_bad + (1 - pi_bad) * self.loss_good
+
+    def should_drop(self, frame: Frame) -> bool:
+        self.seen += 1
+        if self.bad:
+            if self._rng.random() < self.p_bg:
+                self.bad = False
+        else:
+            if self._rng.random() < self.p_gb:
+                self.bad = True
+        rate = self.loss_bad if self.bad else self.loss_good
+        if rate > 0.0 and self._rng.random() < rate:
+            self.dropped += 1
+            return True
+        return False
+
+    def reset(self) -> None:
+        self._rng = random.Random(self.seed)
+        self.bad = False
+        self.dropped = 0
+        self.seen = 0
+
+
+class PatternLoss(LossModel):
+    """Deterministically drop every ``n``-th frame (counting from 1).
+
+    Used by tests that need exact, reproducible loss placement — e.g.
+    "drop precisely the last segment of a Write-Record message".
+    """
+
+    def __init__(self, every_nth: int, offset: int = 0):
+        if every_nth < 1:
+            raise ValueError(f"every_nth must be >= 1, got {every_nth}")
+        self.every_nth = every_nth
+        self.offset = offset
+        self._count = 0
+        self.dropped = 0
+
+    def should_drop(self, frame: Frame) -> bool:
+        self._count += 1
+        if (self._count - self.offset) % self.every_nth == 0 and self._count > self.offset:
+            self.dropped += 1
+            return True
+        return False
+
+    def reset(self) -> None:
+        self._count = 0
+        self.dropped = 0
+
+
+class BitErrorModel:
+    """Per-datagram payload corruption.
+
+    Models wire corruption that slips past link-layer checks — precisely
+    the failure datagram-iWARP's mandatory CRC32 exists to catch
+    (§IV.B item 6), especially with the UDP checksum disabled as the
+    paper recommends.  ``apply`` returns the (possibly corrupted) bytes;
+    the original buffer is never mutated because in-flight data is
+    shared with the sender in the simulation.
+    """
+
+    def __init__(self, rate: float, seed: int = 0):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"corruption rate must be in [0, 1], got {rate}")
+        self.rate = rate
+        self.seed = seed
+        self._rng = random.Random(seed ^ 0x5EED)
+        self.corrupted = 0
+        self.seen = 0
+
+    def apply(self, data: bytes) -> bytes:
+        self.seen += 1
+        if not data or self.rate <= 0.0 or self._rng.random() >= self.rate:
+            return data
+        self.corrupted += 1
+        index = self._rng.randrange(len(data))
+        flipped = bytearray(data)
+        flipped[index] ^= 1 << self._rng.randrange(8)
+        return bytes(flipped)
+
+    def reset(self) -> None:
+        self._rng = random.Random(self.seed ^ 0x5EED)
+        self.corrupted = 0
+        self.seen = 0
+
+
+class ExplicitLoss(LossModel):
+    """Drop exactly the frames whose 1-based egress index is listed.
+
+    The sharpest tool for unit tests: "drop frames 3 and 7" is stated
+    directly instead of being reverse-engineered from probabilities.
+    """
+
+    def __init__(self, indices):
+        self.indices = set(int(i) for i in indices)
+        if any(i < 1 for i in self.indices):
+            raise ValueError("frame indices are 1-based")
+        self._count = 0
+        self.dropped = 0
+
+    def should_drop(self, frame: Frame) -> bool:
+        self._count += 1
+        if self._count in self.indices:
+            self.dropped += 1
+            return True
+        return False
+
+    def reset(self) -> None:
+        self._count = 0
+        self.dropped = 0

@@ -1,0 +1,126 @@
+"""Network interface with a FIFO egress queue.
+
+The NIC is where the paper's loss injection lives (a ``tc`` FIFO queue in
+front of the hardware, §VI.A.2), so the egress path is modelled
+explicitly:
+
+1. the protocol stack enqueues a frame (drop-tail if the queue is full,
+   loss-model drop if one is attached — both before any wire time is
+   spent, like ``tc``);
+2. when the transmitter is idle the head frame is serialized for
+   ``wire_size * 8 / bandwidth``;
+3. after propagation delay the frame arrives at the link peer's
+   ``on_frame``.
+
+Reception is passive: arriving frames are handed to the owner (host or
+switch) immediately; receive-side CPU costs are charged by the protocol
+stacks, which know what processing each frame actually needs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Optional
+
+from .engine import Simulator
+from .link import Link
+from .loss import LossModel, NoLoss
+from .packet import Frame, serialization_ns
+
+
+class NicPort:
+    """One port: egress queue + transmitter + attachment to a link."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        owner,
+        name: str = "nic",
+        queue_frames: int = 1000,
+    ):
+        if queue_frames < 1:
+            raise ValueError(f"queue must hold at least one frame, got {queue_frames}")
+        self.sim = sim
+        self.owner = owner                     # object with .on_frame(frame, port)
+        self.name = name
+        self.queue_frames = queue_frames
+        self.link: Optional[Link] = None
+        self.loss_model: LossModel = NoLoss()
+        self._queue: Deque[Frame] = deque()
+        self._transmitting = False
+        # Counters for tests and reports.
+        self.tx_frames = 0
+        self.tx_bytes = 0
+        self.rx_frames = 0
+        self.rx_bytes = 0
+        self.drops_queue_full = 0
+        self.drops_loss_model = 0
+        self.tracer = None                     # optional repro.simnet.trace.Tracer
+
+    # -- egress -----------------------------------------------------------
+
+    def enqueue(self, frame: Frame) -> bool:
+        """Queue a frame for transmission.  Returns False if dropped."""
+        if self.link is None:
+            raise RuntimeError(f"port {self.name!r} is not cabled to a link")
+        if self.loss_model.should_drop(frame):
+            self.drops_loss_model += 1
+            if self.tracer:
+                self.tracer.record("drop.loss", port=self.name, frame=frame)
+            return False
+        if len(self._queue) >= self.queue_frames:
+            self.drops_queue_full += 1
+            if self.tracer:
+                self.tracer.record("drop.queue", port=self.name, frame=frame)
+            return False
+        self._queue.append(frame)
+        if not self._transmitting:
+            self._start_next()
+        return True
+
+    def _start_next(self) -> None:
+        if not self._queue:
+            self._transmitting = False
+            return
+        self._transmitting = True
+        frame = self._queue.popleft()
+        ser = serialization_ns(frame.wire_size, self.link.bandwidth_bps)
+        self.sim.schedule(ser, self._finish_tx, frame)
+
+    def _finish_tx(self, frame: Frame) -> None:
+        self.tx_frames += 1
+        self.tx_bytes += frame.wire_size
+        if self.tracer:
+            self.tracer.record("tx", port=self.name, frame=frame)
+        peer = self.link.peer_of(self)
+        self.sim.schedule(self.link.delay_ns, peer.deliver, frame)
+        self._start_next()
+
+    # -- ingress ----------------------------------------------------------
+
+    def deliver(self, frame: Frame) -> None:
+        """Called by the link when a frame fully arrives at this port."""
+        self.rx_frames += 1
+        self.rx_bytes += frame.wire_size
+        if self.tracer:
+            self.tracer.record("rx", port=self.name, frame=frame)
+        self.owner.on_frame(frame, self)
+
+    # -- configuration ----------------------------------------------------
+
+    def set_loss_model(self, model: LossModel) -> None:
+        self.loss_model = model
+
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<NicPort {self.name!r} q={len(self._queue)} tx={self.tx_frames} rx={self.rx_frames}>"
+
+
+def cable(sim: Simulator, port_a: NicPort, port_b: NicPort, link: Link) -> Link:
+    """Wire two ports together with ``link``."""
+    link.attach(port_a, port_b)
+    port_a.link = link
+    port_b.link = link
+    return link

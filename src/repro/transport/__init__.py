@@ -1,0 +1,13 @@
+"""Transport substrates: IP (fragmentation), UDP, TCP, reliable-UDP."""
+
+from .ip import IpStack, IpPacket, IP_HEADER
+from .udp import (
+    AddressInUseError, MessageTooLongError, UDP_HEADER, UDP_MAX_PAYLOAD,
+    UdpDatagram, UdpError, UdpSocket, UdpStack,
+)
+
+__all__ = [
+    "AddressInUseError", "IP_HEADER", "IpPacket", "IpStack",
+    "MessageTooLongError", "UDP_HEADER", "UDP_MAX_PAYLOAD", "UdpDatagram",
+    "UdpError", "UdpSocket", "UdpStack",
+]

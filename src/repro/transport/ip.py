@@ -1,0 +1,217 @@
+"""IP layer: host addressing, fragmentation, reassembly.
+
+Fragmentation is load-bearing for the paper's results: a UDP datagram
+larger than the 1500-byte Ethernet MTU is split into IP fragments, and
+**loss of any fragment loses the whole datagram** after a reassembly
+timeout.  That single mechanism produces the collapse of UD send/recv
+bandwidth for multi-packet messages under loss (Fig. 7) and the 64 KB
+cliff in the Write-Record curves (Fig. 8).
+
+Fragments carry a reference to the original payload object plus exact
+byte extents; the payload is delivered upward only once every byte of
+the datagram has arrived, so loss semantics are exact while the
+simulator avoids materializing per-fragment byte slices.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..simnet.engine import MS, Simulator
+from ..simnet.host import Host
+from ..simnet.packet import Frame
+
+IP_HEADER = 20
+#: Default kernel reassembly timeout (Linux: 30 s; shortened to keep
+#: simulations snappy while still far exceeding any in-flight window).
+REASSEMBLY_TIMEOUT_NS = 200 * MS
+
+
+@dataclass
+class IpPacket:
+    """One IP packet (possibly a fragment) as carried in a Frame."""
+
+    PROTO = "ip"
+
+    src: int
+    dst: int
+    proto: str                  # upper-layer protocol name ("udp", "tcp", ...)
+    payload: Any                # the upper-layer object (shared across fragments)
+    total_size: int             # full upper-layer size in bytes
+    ident: int                  # fragment group id
+    frag_offset: int = 0        # byte offset of this fragment's data
+    frag_size: int = 0          # bytes of upper-layer data in this fragment
+    more_frags: bool = False
+
+    @property
+    def header_and_data_size(self) -> int:
+        return IP_HEADER + self.frag_size
+
+    @property
+    def is_fragmented(self) -> bool:
+        return self.more_frags or self.frag_offset > 0
+
+
+class _Reassembly:
+    """State for one in-progress fragmented datagram."""
+
+    __slots__ = ("ranges", "total", "payload", "proto", "timer", "first_seen")
+
+    def __init__(self, payload: Any, proto: str, total: int, now: int):
+        self.ranges: List[Tuple[int, int]] = []  # merged (start, end) intervals
+        self.total = total
+        self.payload = payload
+        self.proto = proto
+        self.timer = None
+        self.first_seen = now
+
+    def add(self, start: int, size: int) -> None:
+        end = start + size
+        merged: List[Tuple[int, int]] = []
+        for s, e in self.ranges:
+            if e < start or s > end:
+                merged.append((s, e))
+            else:
+                # Absorb every interval touching [start, end).
+                start, end = min(s, start), max(e, end)
+        merged.append((start, end))
+        merged.sort()
+        # Second merge pass to coalesce adjacent intervals.
+        out: List[Tuple[int, int]] = []
+        for s, e in merged:
+            if out and s <= out[-1][1]:
+                out[-1] = (out[-1][0], max(out[-1][1], e))
+            else:
+                out.append((s, e))
+        self.ranges = out
+
+    @property
+    def complete(self) -> bool:
+        return len(self.ranges) == 1 and self.ranges[0] == (0, self.total)
+
+
+class IpStack:
+    """Per-host IP: fragments on transmit, reassembles on receive, and
+    demultiplexes complete datagrams to registered upper protocols."""
+
+    def __init__(self, host: Host, reassembly_timeout_ns: int = REASSEMBLY_TIMEOUT_NS):
+        self.host = host
+        self.sim: Simulator = host.sim
+        self.reassembly_timeout_ns = reassembly_timeout_ns
+        self._ident = itertools.count(1)
+        self._upper: Dict[str, Callable[[Any, int, int], None]] = {}
+        self._reassembly: Dict[Tuple[int, int], _Reassembly] = {}
+        host.register_protocol("ip", self)
+        # Statistics.
+        self.tx_packets = 0
+        self.rx_fragments = 0
+        self.reassembly_timeouts = 0
+        self.delivered = 0
+
+    # -- upward interface ---------------------------------------------------
+
+    def register(self, proto: str, handler: Callable[[Any, int, int], None]) -> None:
+        """Register ``handler(payload, src_host, size)`` for ``proto``."""
+        if proto in self._upper:
+            raise ValueError(f"upper protocol {proto!r} already registered")
+        self._upper[proto] = handler
+
+    # -- transmit -------------------------------------------------------------
+
+    def mtu(self) -> int:
+        link = self.host.port.link
+        if link is None:
+            raise RuntimeError(f"{self.host.name} NIC is not cabled")
+        return link.mtu
+
+    def fragments_needed(self, payload_size: int) -> int:
+        """How many IP fragments a payload of this size produces."""
+        max_data = self._max_frag_data()
+        if payload_size + IP_HEADER <= self.mtu():
+            return 1
+        return -(-payload_size // max_data)  # ceil division
+
+    def _max_frag_data(self) -> int:
+        # Fragment data sizes must be multiples of 8 except the last.
+        return (self.mtu() - IP_HEADER) // 8 * 8
+
+    def send(self, dst: int, proto: str, payload: Any, payload_size: int) -> int:
+        """Emit ``payload`` toward host ``dst``; returns fragment count.
+
+        The caller (transport layer) is responsible for CPU accounting;
+        this method only creates frames and hands them to the NIC.
+        """
+        if payload_size < 0:
+            raise ValueError(f"negative payload size: {payload_size}")
+        mtu = self.mtu()
+        ident = next(self._ident)
+        if payload_size + IP_HEADER <= mtu:
+            pkt = IpPacket(
+                src=self.host.host_id, dst=dst, proto=proto, payload=payload,
+                total_size=payload_size, ident=ident,
+                frag_offset=0, frag_size=payload_size, more_frags=False,
+            )
+            self._emit(pkt)
+            return 1
+        max_data = self._max_frag_data()
+        offset = 0
+        count = 0
+        while offset < payload_size:
+            size = min(max_data, payload_size - offset)
+            more = offset + size < payload_size
+            pkt = IpPacket(
+                src=self.host.host_id, dst=dst, proto=proto, payload=payload,
+                total_size=payload_size, ident=ident,
+                frag_offset=offset, frag_size=size, more_frags=more,
+            )
+            self._emit(pkt)
+            offset += size
+            count += 1
+        self.tx_packets += count
+        return count
+
+    def _emit(self, pkt: IpPacket) -> None:
+        frame = Frame(
+            src=self.host.host_id, dst=pkt.dst,
+            payload=pkt, payload_size=pkt.header_and_data_size,
+        )
+        self.host.send_frame(frame)
+
+    # -- receive ---------------------------------------------------------------
+
+    def on_packet(self, pkt: IpPacket, frame: Frame) -> None:
+        if not pkt.is_fragmented:
+            self._deliver(pkt.proto, pkt.payload, pkt.src, pkt.total_size)
+            return
+        self.rx_fragments += 1
+        key = (pkt.src, pkt.ident)
+        state = self._reassembly.get(key)
+        if state is None:
+            state = _Reassembly(pkt.payload, pkt.proto, pkt.total_size, self.sim.now)
+            self._reassembly[key] = state
+            state.timer = self.sim.schedule(
+                self.reassembly_timeout_ns, self._timeout, key
+            )
+        state.add(pkt.frag_offset, pkt.frag_size)
+        if state.complete:
+            if state.timer is not None:
+                state.timer.cancel()
+            del self._reassembly[key]
+            self._deliver(state.proto, state.payload, pkt.src, state.total)
+
+    def _deliver(self, proto: str, payload: Any, src: int, size: int) -> None:
+        handler = self._upper.get(proto)
+        if handler is None:
+            return
+        self.delivered += 1
+        handler(payload, src, size)
+
+    def _timeout(self, key: Tuple[int, int]) -> None:
+        if key in self._reassembly:
+            del self._reassembly[key]
+            self.reassembly_timeouts += 1
+
+    def pending_reassemblies(self) -> int:
+        return len(self._reassembly)

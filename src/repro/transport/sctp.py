@@ -1,0 +1,545 @@
+"""SCTP-lite: the standard's *other* lower-layer protocol.
+
+iWARP is "defined over either TCP or SCTP protocols" (§II), and the
+paper repeatedly contrasts the two: SCTP "also has defined message
+boundaries, but it provides even more features than those in TCP and
+consequently is more complicated" (§IV.A).  This module implements the
+subset that matters for iWARP-over-SCTP (RFC 5043's picture):
+
+* four-way association establishment (INIT / INIT-ACK / COOKIE-ECHO /
+  COOKIE-ACK) — the cookie mechanism is modelled, not cryptographic;
+* reliable, **message-boundary-preserving** DATA transfer with per-
+  message TSNs, cumulative SACKs with a gap report, fast retransmit on
+  repeated gap reports, RTO retransmission with go-back semantics, and
+  Reno congestion control (reusing the TCP implementation's machinery);
+* ordered delivery (one stream — iWARP uses a single SCTP stream);
+* graceful SHUTDOWN.
+
+Deliberate subset: user messages must fit one MTU (no SCTP-level
+fragmentation) — iWARP's DDP layer segments to MULPDU first, so this
+never binds in practice; multi-homing, multiple streams, and unordered
+delivery are out of scope.  Because SCTP preserves message boundaries,
+iWARP over SCTP **needs no MPA layer** — no markers, no stream framing —
+which is exactly the ablation `benchmarks/bench_ablations.py` runs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from ..simnet.engine import Future, MS, Simulator
+from ..simnet.host import Host
+from .ip import IpStack
+from .tcp.congestion import RenoCongestion
+from .tcp.rto import RtoEstimator
+
+Address = Tuple[int, int]
+
+SCTP_COMMON_HEADER = 12
+DATA_CHUNK_HEADER = 16
+SACK_CHUNK_SIZE = 20
+CONTROL_CHUNK_SIZE = 20
+
+# Chunk types.
+CH_DATA = "DATA"
+CH_INIT = "INIT"
+CH_INIT_ACK = "INIT_ACK"
+CH_COOKIE_ECHO = "COOKIE_ECHO"
+CH_COOKIE_ACK = "COOKIE_ACK"
+CH_SACK = "SACK"
+CH_SHUTDOWN = "SHUTDOWN"
+CH_SHUTDOWN_ACK = "SHUTDOWN_ACK"
+CH_ABORT = "ABORT"
+
+# Association states.
+CLOSED = "CLOSED"
+COOKIE_WAIT = "COOKIE_WAIT"
+COOKIE_ECHOED = "COOKIE_ECHOED"
+ESTABLISHED = "ESTABLISHED"
+SHUTDOWN_SENT = "SHUTDOWN_SENT"
+
+
+class SctpError(Exception):
+    """Association-level failures and API misuse."""
+
+
+@dataclass
+class SctpChunk:
+    """One SCTP chunk (packets here carry exactly one chunk; chunk
+    bundling is a performance nicety this subset skips)."""
+
+    PROTO = "sctp"
+
+    kind: str
+    src_port: int
+    dst_port: int
+    tsn: int = 0
+    cum_ack: int = 0
+    gap_start: int = 0          # first missing TSN after cum_ack (0 = none)
+    payload: bytes = b""
+    cookie: int = 0
+
+    @property
+    def size(self) -> int:
+        if self.kind == CH_DATA:
+            return SCTP_COMMON_HEADER + DATA_CHUNK_HEADER + len(self.payload)
+        if self.kind == CH_SACK:
+            return SCTP_COMMON_HEADER + SACK_CHUNK_SIZE
+        return SCTP_COMMON_HEADER + CONTROL_CHUNK_SIZE
+
+
+class SctpAssociation:
+    """One endpoint of an SCTP association (single ordered stream)."""
+
+    def __init__(self, stack: "SctpStack", local_port: int, remote: Address):
+        self.stack = stack
+        self.sim: Simulator = stack.sim
+        self.local_port = local_port
+        self.remote = remote
+        self.state = CLOSED
+        self.established: Future = self.sim.future()
+        self.on_message: Optional[Callable[[bytes], None]] = None
+        self.on_close: Optional[Callable[[], None]] = None
+
+        self.max_message = stack.max_message
+        # Transmit side: per-message TSNs.
+        self._next_tsn = 1
+        self._unacked: Dict[int, bytes] = {}
+        self._queue: Deque[bytes] = deque()
+        self.cong = RenoCongestion(mss=self.max_message)
+        self.rto = RtoEstimator()
+        self._rtx_timer = None
+        self._rtt_tsn: Optional[int] = None
+        self._rtt_sent_at = 0
+        self._gap_reports = 0
+        self._last_gap = 0
+        # Receive side.
+        self._cum_tsn = 0
+        self._ooo: Dict[int, bytes] = {}
+        self._msgs_since_sack = 0
+        self._cookie = 0
+        # Statistics.
+        self.messages_sent = 0
+        self.messages_received = 0
+        self.retransmissions = 0
+
+    # ------------------------------------------------------------------
+    # Establishment (INIT -> INIT-ACK -> COOKIE-ECHO -> COOKIE-ACK)
+    # ------------------------------------------------------------------
+
+    def open_active(self) -> Future:
+        if self.state != CLOSED:
+            raise SctpError(f"open_active in state {self.state}")
+        self.state = COOKIE_WAIT
+        self._send_chunk(SctpChunk(kind=CH_INIT, src_port=self.local_port,
+                                   dst_port=self.remote[1]))
+        self._arm_rtx()
+        return self.established
+
+    def _on_init(self, chunk: SctpChunk) -> None:
+        # Stateless INIT handling: issue a cookie, keep no association
+        # state until COOKIE-ECHO (SYN-flood resistance, modelled).
+        cookie = self.stack.issue_cookie(self.remote)
+        self._send_chunk(SctpChunk(kind=CH_INIT_ACK, src_port=self.local_port,
+                                   dst_port=self.remote[1], cookie=cookie))
+
+    def _on_init_ack(self, chunk: SctpChunk) -> None:
+        if self.state != COOKIE_WAIT:
+            return
+        self.state = COOKIE_ECHOED
+        self._cookie = chunk.cookie
+        self._send_chunk(SctpChunk(kind=CH_COOKIE_ECHO, src_port=self.local_port,
+                                   dst_port=self.remote[1], cookie=chunk.cookie))
+        self._arm_rtx()
+
+    def _on_cookie_echo(self, chunk: SctpChunk) -> None:
+        if not self.stack.validate_cookie(self.remote, chunk.cookie):
+            return
+        if self.state in (CLOSED, COOKIE_WAIT):
+            self.state = ESTABLISHED
+            if not self.established.done:
+                self.established.set_result(self)
+        self._send_chunk(SctpChunk(kind=CH_COOKIE_ACK, src_port=self.local_port,
+                                   dst_port=self.remote[1]))
+
+    def _on_cookie_ack(self, chunk: SctpChunk) -> None:
+        if self.state == COOKIE_ECHOED:
+            self.state = ESTABLISHED
+            self._cancel_rtx()
+            if not self.established.done:
+                self.established.set_result(self)
+            self._pump()
+
+    # ------------------------------------------------------------------
+    # Data transfer
+    # ------------------------------------------------------------------
+
+    def send_message(self, data: bytes) -> None:
+        """Queue one message (boundary preserved end-to-end).
+
+        Messages queued before the association completes (including
+        between connect() and the INIT leaving) flush on establishment.
+        """
+        if self.state == SHUTDOWN_SENT:
+            raise SctpError(f"send in state {self.state}")
+        if len(data) > self.max_message:
+            raise SctpError(
+                f"message of {len(data)} bytes exceeds the no-fragmentation "
+                f"subset limit {self.max_message}"
+            )
+        self._queue.append(bytes(data))
+        self._pump()
+
+    def _pump(self) -> None:
+        if self.state != ESTABLISHED:
+            return
+        while self._queue:
+            flight = sum(len(v) for v in self._unacked.values())
+            if not self.cong.send_allowance(flight, peer_window=1 << 30):
+                break
+            data = self._queue.popleft()
+            tsn = self._next_tsn
+            self._next_tsn += 1
+            self._unacked[tsn] = data
+            self._emit_data(tsn, data)
+            if self._rtt_tsn is None:
+                self._rtt_tsn = tsn
+                self._rtt_sent_at = self.sim.now
+        if self._unacked and self._rtx_timer is None:
+            self._arm_rtx()
+
+    def _emit_data(self, tsn: int, data: bytes) -> None:
+        self.messages_sent += 1
+        self._send_chunk(SctpChunk(
+            kind=CH_DATA, src_port=self.local_port, dst_port=self.remote[1],
+            tsn=tsn, payload=data,
+        ))
+
+    def _on_data(self, chunk: SctpChunk) -> None:
+        tsn = chunk.tsn
+        if tsn <= self._cum_tsn or tsn in self._ooo:
+            self._send_sack()  # duplicate: re-announce state
+            return
+        if tsn == self._cum_tsn + 1:
+            self._cum_tsn = tsn
+            self._deliver(chunk.payload)
+            while self._cum_tsn + 1 in self._ooo:
+                self._cum_tsn += 1
+                self._deliver(self._ooo.pop(self._cum_tsn))
+            self._msgs_since_sack += 1
+            if self._msgs_since_sack >= 2 or self._ooo:
+                self._send_sack()
+        else:
+            self._ooo[tsn] = chunk.payload
+            self._send_sack()  # immediate gap report
+
+    def _deliver(self, data: bytes) -> None:
+        self.messages_received += 1
+        if self.on_message is not None:
+            self.stack.deliver_to_app(self, data)
+
+    def _send_sack(self) -> None:
+        self._msgs_since_sack = 0
+        gap = min(self._ooo) if self._ooo else 0
+        self._send_chunk(SctpChunk(
+            kind=CH_SACK, src_port=self.local_port, dst_port=self.remote[1],
+            cum_ack=self._cum_tsn, gap_start=gap,
+        ))
+
+    def _on_sack(self, chunk: SctpChunk) -> None:
+        newly = 0
+        for tsn in [t for t in self._unacked if t <= chunk.cum_ack]:
+            newly += len(self._unacked.pop(tsn))
+        if newly:
+            self.rto.reset_backoff()
+            if self._rtt_tsn is not None and chunk.cum_ack >= self._rtt_tsn:
+                self.rto.sample(self.sim.now - self._rtt_sent_at)
+                self._rtt_tsn = None
+            flight = sum(len(v) for v in self._unacked.values())
+            self.cong.on_ack(newly, chunk.cum_ack)
+            self._gap_reports = 0
+        if chunk.gap_start and chunk.gap_start == self._last_gap and not newly:
+            self._gap_reports += 1
+            if self._gap_reports == 3:
+                flight = sum(len(v) for v in self._unacked.values())
+                if self.cong.on_dup_acks(flight, self._next_tsn):
+                    self._fast_retransmit(chunk.cum_ack + 1)
+        self._last_gap = chunk.gap_start
+        if self.cong.in_recovery and newly and chunk.gap_start:
+            # Partial progress with a remaining hole: resend it now.
+            self._fast_retransmit(chunk.cum_ack + 1)
+        if not self._unacked:
+            self._cancel_rtx()
+        else:
+            self._arm_rtx()
+        self._pump()
+
+    def _fast_retransmit(self, tsn: int) -> None:
+        data = self._unacked.get(tsn)
+        if data is not None:
+            self.retransmissions += 1
+            self._emit_data(tsn, data)
+
+    # -- timers ---------------------------------------------------------------
+
+    def _arm_rtx(self) -> None:
+        self._cancel_rtx()
+        self._rtx_timer = self.sim.schedule(self.rto.rto_ns, self._on_rtx_timeout)
+
+    def _cancel_rtx(self) -> None:
+        if self._rtx_timer is not None:
+            self._rtx_timer.cancel()
+            self._rtx_timer = None
+
+    def _on_rtx_timeout(self) -> None:
+        self._rtx_timer = None
+        if self.state == COOKIE_WAIT:
+            self._send_chunk(SctpChunk(kind=CH_INIT, src_port=self.local_port,
+                                       dst_port=self.remote[1]))
+            self.retransmissions += 1
+            self._arm_rtx()
+            return
+        if self.state == COOKIE_ECHOED:
+            self._send_chunk(SctpChunk(kind=CH_COOKIE_ECHO, src_port=self.local_port,
+                                       dst_port=self.remote[1], cookie=self._cookie))
+            self.retransmissions += 1
+            self._arm_rtx()
+            return
+        if not self._unacked:
+            return
+        self.cong.on_timeout(sum(len(v) for v in self._unacked.values()))
+        self.rto.on_timeout()
+        self._rtt_tsn = None
+        # Go-back: resend every outstanding message from the hole forward
+        # (they are whole messages, so this is cheap bookkeeping).
+        for tsn in sorted(self._unacked):
+            self.retransmissions += 1
+            self._emit_data(tsn, self._unacked[tsn])
+        self._arm_rtx()
+
+    # ------------------------------------------------------------------
+    # Teardown
+    # ------------------------------------------------------------------
+
+    def shutdown(self) -> None:
+        if self.state != ESTABLISHED:
+            self._become_closed()
+            return
+        self.state = SHUTDOWN_SENT
+        self._send_chunk(SctpChunk(kind=CH_SHUTDOWN, src_port=self.local_port,
+                                   dst_port=self.remote[1], cum_ack=self._cum_tsn))
+
+    def abort(self) -> None:
+        if self.state != CLOSED:
+            self._send_chunk(SctpChunk(kind=CH_ABORT, src_port=self.local_port,
+                                       dst_port=self.remote[1]))
+        self._become_closed()
+
+    def _on_shutdown(self, chunk: SctpChunk) -> None:
+        self._send_chunk(SctpChunk(kind=CH_SHUTDOWN_ACK, src_port=self.local_port,
+                                   dst_port=self.remote[1]))
+        self._become_closed()
+
+    def _on_shutdown_ack(self, chunk: SctpChunk) -> None:
+        self._become_closed()
+
+    def _become_closed(self) -> None:
+        if self.state == CLOSED:
+            return
+        self.state = CLOSED
+        self._cancel_rtx()
+        self.stack.forget(self)
+        if not self.established.done:
+            self.established.set_result(None)
+        if self.on_close is not None:
+            self.on_close()
+
+    # ------------------------------------------------------------------
+    # Chunk I/O
+    # ------------------------------------------------------------------
+
+    def _send_chunk(self, chunk: SctpChunk) -> None:
+        self.stack.transmit_chunk(self, chunk)
+
+    def on_chunk(self, chunk: SctpChunk) -> None:
+        handler = {
+            CH_DATA: self._on_data,
+            CH_INIT: self._on_init,
+            CH_INIT_ACK: self._on_init_ack,
+            CH_COOKIE_ECHO: self._on_cookie_echo,
+            CH_COOKIE_ACK: self._on_cookie_ack,
+            CH_SACK: self._on_sack,
+            CH_SHUTDOWN: self._on_shutdown,
+            CH_SHUTDOWN_ACK: self._on_shutdown_ack,
+            CH_ABORT: lambda c: self._become_closed(),
+        }.get(chunk.kind)
+        if handler is not None:
+            handler(chunk)
+
+
+class SctpListener:
+    """Passive open endpoint."""
+
+    def __init__(self, stack: "SctpStack", port: int):
+        self.stack = stack
+        self.port = port
+        self._ready: Deque[SctpAssociation] = deque()
+        self._waiters: Deque[Future] = deque()
+        self.on_accept: Optional[Callable[[SctpAssociation], None]] = None
+
+    def _deliver(self, assoc: SctpAssociation) -> None:
+        if self.on_accept is not None:
+            self.on_accept(assoc)
+        elif self._waiters:
+            self._waiters.popleft().set_result(assoc)
+        else:
+            self._ready.append(assoc)
+
+    def accept_future(self) -> Future:
+        fut = self.stack.sim.future()
+        if self._ready:
+            fut.set_result(self._ready.popleft())
+        else:
+            self._waiters.append(fut)
+        return fut
+
+    def close(self) -> None:
+        self.stack._listeners.pop(self.port, None)
+
+
+class SctpStack:
+    """Per-host SCTP: association table, cookies, CPU accounting.
+
+    CPU costs reuse the TCP fields with a +25 % complexity factor — the
+    paper's characterization that SCTP "provides even more features ...
+    and consequently is more complicated" (§IV.A), while keeping one
+    source of calibrated constants.
+    """
+
+    EPHEMERAL_BASE = 52000
+    COMPLEXITY = 1.25
+
+    def __init__(self, host: Host, ip: IpStack, max_message: Optional[int] = None):
+        self.host = host
+        self.sim: Simulator = host.sim
+        self.ip = ip
+        # No-fragmentation subset: one message per MTU-sized packet.
+        self.max_message = (
+            max_message if max_message is not None
+            else ip.mtu() - 20 - SCTP_COMMON_HEADER - DATA_CHUNK_HEADER
+        )
+        self._assocs: Dict[Tuple[int, int, int], SctpAssociation] = {}
+        self._listeners: Dict[int, SctpListener] = {}
+        self._ephemeral = itertools.count(self.EPHEMERAL_BASE)
+        self._cookie_seq = itertools.count(0x1000)
+        self._valid_cookies: Dict[int, Address] = {}
+        ip.register("sctp", self._on_ip_delivery)
+        self.rx_no_association = 0
+
+    # -- cookies -----------------------------------------------------------
+
+    def issue_cookie(self, peer: Address) -> int:
+        cookie = next(self._cookie_seq)
+        self._valid_cookies[cookie] = peer
+        return cookie
+
+    def validate_cookie(self, peer: Address, cookie: int) -> bool:
+        return self._valid_cookies.get(cookie) == peer
+
+    # -- association management ------------------------------------------------
+
+    def listen(self, port: int) -> SctpListener:
+        if port in self._listeners:
+            raise SctpError(f"SCTP port {port} already listening")
+        listener = SctpListener(self, port)
+        self._listeners[port] = listener
+        return listener
+
+    def connect(self, remote: Address, local_port: Optional[int] = None) -> SctpAssociation:
+        lport = local_port if local_port is not None else next(self._ephemeral)
+        assoc = self._new_association(lport, remote)
+        self.host.cpu.submit(self.host.costs.syscall_ns, assoc.open_active)
+        return assoc
+
+    def _new_association(self, local_port: int, remote: Address) -> SctpAssociation:
+        key = (local_port, remote[0], remote[1])
+        if key in self._assocs:
+            raise SctpError(f"association {key} already exists")
+        assoc = SctpAssociation(self, local_port, remote)
+        self._assocs[key] = assoc
+        return assoc
+
+    def forget(self, assoc: SctpAssociation) -> None:
+        self._assocs.pop(
+            (assoc.local_port, assoc.remote[0], assoc.remote[1]), None
+        )
+
+    def open_associations(self) -> int:
+        return len(self._assocs)
+
+    # -- transmit ---------------------------------------------------------------
+
+    def transmit_chunk(self, assoc: SctpAssociation, chunk: SctpChunk) -> None:
+        costs = self.host.costs
+        if chunk.kind == CH_DATA:
+            # SCTP carries its own CRC32c over every packet — in a
+            # software stack that is a real per-byte pass, the analogue
+            # of the DDP-level CRC the UD path pays.
+            cost = int(costs.tcp_tx_per_seg_ns * self.COMPLEXITY) \
+                + costs.crc_ns(len(chunk.payload))
+        elif chunk.kind == CH_SACK:
+            cost = int(costs.tcp_ack_tx_ns * self.COMPLEXITY)
+        else:
+            cost = costs.tcp_tx_per_seg_ns
+        self.host.cpu.charge(cost)
+        self.ip.send(assoc.remote[0], "sctp", chunk, chunk.size)
+
+    # -- receive -----------------------------------------------------------------
+
+    def _on_ip_delivery(self, chunk: SctpChunk, src_host: int, size: int) -> None:
+        costs = self.host.costs
+        if chunk.kind == CH_DATA:
+            cost = int(costs.tcp_rx_per_seg_ns * self.COMPLEXITY) \
+                + costs.crc_ns(len(chunk.payload))
+            if self.host.cpu.free_at <= self.sim.now:
+                cost += costs.interrupt_ns
+        elif chunk.kind == CH_SACK:
+            cost = int(costs.tcp_ack_rx_ns * self.COMPLEXITY)
+        else:
+            cost = costs.tcp_rx_per_seg_ns
+        self.host.cpu.submit(cost, self._demux, chunk, src_host)
+
+    def _demux(self, chunk: SctpChunk, src_host: int) -> None:
+        key = (chunk.dst_port, src_host, chunk.src_port)
+        assoc = self._assocs.get(key)
+        if assoc is not None:
+            assoc.on_chunk(chunk)
+            return
+        listener = self._listeners.get(chunk.dst_port)
+        if listener is None:
+            self.rx_no_association += 1
+            return
+        if chunk.kind == CH_INIT:
+            # Stateless: reply with a cookie, create nothing yet.
+            temp = SctpAssociation(self, chunk.dst_port, (src_host, chunk.src_port))
+            temp._on_init(chunk)
+            return
+        if chunk.kind == CH_COOKIE_ECHO:
+            assoc = self._new_association(chunk.dst_port, (src_host, chunk.src_port))
+            assoc.on_chunk(chunk)
+            if assoc.state == ESTABLISHED:
+                listener._deliver(assoc)
+            return
+        self.rx_no_association += 1
+
+    def deliver_to_app(self, assoc: SctpAssociation, data: bytes) -> None:
+        cost = self.host.costs.copy_ns(len(data))
+        self.host.cpu.submit(cost, self._app_upcall, assoc, data)
+
+    @staticmethod
+    def _app_upcall(assoc: SctpAssociation, data: bytes) -> None:
+        if assoc.on_message is not None:
+            assoc.on_message(data)

@@ -1,0 +1,37 @@
+"""Convenience bundle: one host's full kernel networking stack.
+
+Binds IP + UDP + TCP to a host in one call, the way every experiment
+needs them.  The iWARP device (:mod:`repro.core.verbs.device`) and raw
+socket applications both reach transports through this bundle.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..simnet.host import Host
+from ..simnet.topology import Testbed
+from .ip import IpStack
+from .sctp import SctpStack
+from .tcp.socket import TcpStack
+from .udp import UdpStack
+
+
+class NetStack:
+    """IP/UDP/TCP/SCTP bound to one host."""
+
+    def __init__(self, host: Host, udp_checksum: bool = False, mss: Optional[int] = None):
+        self.host = host
+        self.ip = IpStack(host)
+        self.udp = UdpStack(host, self.ip, checksum_enabled=udp_checksum)
+        self.tcp = TcpStack(host, self.ip, mss=mss)
+        self.sctp = SctpStack(host, self.ip)
+
+    @property
+    def sim(self):
+        return self.host.sim
+
+
+def install_stacks(testbed: Testbed, udp_checksum: bool = False) -> List[NetStack]:
+    """One NetStack per testbed host, in host order."""
+    return [NetStack(h, udp_checksum=udp_checksum) for h in testbed.hosts]

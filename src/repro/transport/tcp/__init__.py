@@ -1,0 +1,13 @@
+"""TCP over the simulated IP layer (the RC lower-layer protocol)."""
+
+from .congestion import RenoCongestion
+from .connection import CLOSED, ESTABLISHED, TcpConnection, TcpError
+from .rto import RtoEstimator
+from .segment import ACK, FIN, PSH, RST, SYN, TcpSegment, flag_names
+from .socket import TcpListener, TcpSocket, TcpStack
+
+__all__ = [
+    "ACK", "CLOSED", "ESTABLISHED", "FIN", "PSH", "RST", "RenoCongestion",
+    "RtoEstimator", "SYN", "TcpConnection", "TcpError", "TcpListener",
+    "TcpSegment", "TcpSocket", "TcpStack", "flag_names",
+]

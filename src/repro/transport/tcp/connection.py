@@ -1,0 +1,524 @@
+"""TCP connection state machine.
+
+A deliberately faithful (if SACK-less) TCP: three-way handshake, MSS
+segmentation, sliding window against both the peer's advertised window
+and Reno's cwnd, cumulative ACKs with duplicate-ACK fast retransmit,
+RFC 6298 retransmission timeouts with Karn's rule, optional Nagle, and
+orderly FIN teardown.
+
+Faithfulness matters to the reproduction: the paper's case for
+datagram-iWARP rests on what connection-oriented transports *do* — ACK
+processing, in-order head-of-line blocking, per-connection state — so
+the RC baseline must earn its overheads mechanically rather than having
+them asserted.
+
+Sequence numbers are plain Python ints (no 32-bit wrap); simulations
+move far less than 2**63 bytes, and the arithmetic stays honest.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from ...simnet.engine import Future, Simulator
+from .congestion import RenoCongestion
+from .rto import RtoEstimator
+from .segment import ACK, FIN, PSH, RST, SYN, TcpSegment
+
+# Connection states.
+CLOSED = "CLOSED"
+SYN_SENT = "SYN_SENT"
+SYN_RCVD = "SYN_RCVD"
+ESTABLISHED = "ESTABLISHED"
+FIN_WAIT_1 = "FIN_WAIT_1"
+FIN_WAIT_2 = "FIN_WAIT_2"
+CLOSE_WAIT = "CLOSE_WAIT"
+LAST_ACK = "LAST_ACK"
+CLOSING = "CLOSING"
+TIME_WAIT = "TIME_WAIT"
+
+
+class TcpError(Exception):
+    """Connection-level failures (reset, send on closed socket, ...)."""
+
+
+class TcpConnection:
+    """One endpoint of a TCP connection, driven entirely by events."""
+
+    def __init__(
+        self,
+        stack,                                # TcpStack (avoid circular import)
+        local_port: int,
+        remote: Tuple[int, int],
+        iss: int,
+        mss: int,
+        nagle: bool = False,
+        rcvbuf_bytes: int = 16 * 1024 * 1024,
+        ack_every: int = 2,
+    ):
+        self.stack = stack
+        self.sim: Simulator = stack.sim
+        self.local_port = local_port
+        self.remote = remote
+        self.mss = mss
+        self.nagle = nagle
+        self.ack_every = max(1, ack_every)
+        self.state = CLOSED
+
+        # Send side.
+        self.iss = iss
+        self.snd_una = iss
+        self.snd_nxt = iss
+        self.snd_max = iss            # highest sequence ever sent
+        self._sndbuf = bytearray()
+        self._snd_base = iss + 1          # seq of _sndbuf[0] (after SYN)
+        self.peer_window = 64 * 1024
+        self.cong = RenoCongestion(mss)
+        self.rto = RtoEstimator()
+        self._rtx_timer = None
+        self._dup_acks = 0
+        self._rtt_seq: Optional[int] = None   # end-seq being timed (Karn)
+        self._rtt_sent_at = 0
+        self._fin_queued = False
+        self._fin_sent = False
+        self._fin_seq: Optional[int] = None
+
+        # Receive side.
+        self.irs = 0
+        self.rcv_nxt = 0
+        self.rcvbuf_bytes = rcvbuf_bytes
+        self._ooo: Dict[int, bytes] = {}   # seq -> payload (out of order)
+        self._segs_since_ack = 0
+        self._remote_fin = False
+
+        # Upcalls.
+        self.on_data: Optional[Callable[[bytes], None]] = None
+        self.on_close: Optional[Callable[[], None]] = None
+        self.established: Future = self.sim.future()
+        self.closed_future: Future = self.sim.future()
+
+        # Statistics.
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.segments_sent = 0
+        self.segments_received = 0
+        self.retransmissions = 0
+
+    # ------------------------------------------------------------------
+    # Opening
+    # ------------------------------------------------------------------
+
+    def open_active(self) -> Future:
+        if self.state != CLOSED:
+            raise TcpError(f"open_active in state {self.state}")
+        self.state = SYN_SENT
+        self._transmit(self.iss, SYN, b"")
+        self.snd_nxt = self.iss + 1
+        self.snd_max = self.iss + 1
+        self._arm_rtx()
+        return self.established
+
+    def open_passive(self, syn: TcpSegment) -> None:
+        """Transition LISTEN->SYN_RCVD for an arriving SYN (called by the
+        stack, which created this connection object for it)."""
+        self.irs = syn.seq
+        self.rcv_nxt = syn.seq + 1
+        self.state = SYN_RCVD
+        self._transmit(self.iss, SYN | ACK, b"")
+        self.snd_nxt = self.iss + 1
+        self.snd_max = self.iss + 1
+        self._arm_rtx()
+
+    # ------------------------------------------------------------------
+    # Application send / close
+    # ------------------------------------------------------------------
+
+    def send(self, data: bytes) -> None:
+        """Queue application bytes (CPU already charged by the socket)."""
+        if self.state not in (ESTABLISHED, CLOSE_WAIT):
+            raise TcpError(f"send in state {self.state}")
+        if self._fin_queued:
+            raise TcpError("send after close")
+        if not data:
+            return
+        self._sndbuf.extend(data)
+        self._try_output()
+
+    def close(self) -> None:
+        """Half-close: FIN goes out after queued data drains."""
+        if self.state in (CLOSED, TIME_WAIT, LAST_ACK, CLOSING, FIN_WAIT_1, FIN_WAIT_2):
+            return
+        self._fin_queued = True
+        if self.state == SYN_SENT:
+            self._become_closed()
+            return
+        self._try_output()
+
+    def abort(self) -> None:
+        """Send RST and drop all state."""
+        if self.state not in (CLOSED, TIME_WAIT):
+            self._transmit(self.snd_nxt, RST | ACK, b"")
+        self._become_closed()
+
+    # ------------------------------------------------------------------
+    # Output engine
+    # ------------------------------------------------------------------
+
+    def _unsent_bytes(self) -> int:
+        return self._snd_base + len(self._sndbuf) - self.snd_nxt
+
+    def flight_size(self) -> int:
+        return self.snd_nxt - self.snd_una
+
+    def _try_output(self) -> None:
+        if self.state not in (ESTABLISHED, CLOSE_WAIT, FIN_WAIT_1, CLOSING, LAST_ACK):
+            return
+        while True:
+            unsent = self._unsent_bytes()
+            allowance = self.cong.send_allowance(self.flight_size(), self.peer_window)
+            if unsent > 0 and allowance > 0:
+                take = min(unsent, allowance, self.mss)
+                if self.nagle and take < self.mss and self.flight_size() > 0:
+                    # Nagle: hold sub-MSS data while anything is unacked.
+                    break
+                off = self.snd_nxt - self._snd_base
+                payload = bytes(self._sndbuf[off : off + take])
+                flags = ACK
+                if take == unsent:
+                    flags |= PSH
+                self._transmit(self.snd_nxt, flags, payload)
+                self.snd_nxt += take
+                self.snd_max = max(self.snd_max, self.snd_nxt)
+                self.bytes_sent += take
+                if self._rtt_seq is None:
+                    self._rtt_seq = self.snd_nxt
+                    self._rtt_sent_at = self.sim.now
+                self._arm_rtx()
+                continue
+            break
+        # FIN once everything queued has been sent (also re-sent here
+        # after a go-back-N rewind, in which case the state already
+        # advanced past ESTABLISHED/CLOSE_WAIT).
+        if (
+            self._fin_queued
+            and not self._fin_sent
+            and self._unsent_bytes() == 0
+            and self.state in (ESTABLISHED, CLOSE_WAIT, FIN_WAIT_1, CLOSING, LAST_ACK)
+        ):
+            self._fin_seq = self.snd_nxt
+            self._transmit(self.snd_nxt, FIN | ACK, b"")
+            self.snd_nxt += 1
+            self.snd_max = max(self.snd_max, self.snd_nxt)
+            self._fin_sent = True
+            if self.state == ESTABLISHED:
+                self.state = FIN_WAIT_1
+            elif self.state == CLOSE_WAIT:
+                self.state = LAST_ACK
+            self._arm_rtx()
+
+    def _transmit(self, seq: int, flags: int, payload: bytes) -> None:
+        seg = TcpSegment(
+            src_port=self.local_port,
+            dst_port=self.remote[1],
+            seq=seq,
+            ack_seq=self.rcv_nxt if flags & ACK else 0,
+            flags=flags,
+            window=self._advertised_window(),
+            payload=payload,
+        )
+        self.segments_sent += 1
+        self._segs_since_ack = 0  # any segment we send carries our ACK
+        self._cancel_delayed_ack()
+        self.stack.transmit_segment(self, seg)
+
+    def _advertised_window(self) -> int:
+        pending = sum(len(p) for p in self._ooo.values())
+        return max(0, self.rcvbuf_bytes - pending)
+
+    # ------------------------------------------------------------------
+    # Timers
+    # ------------------------------------------------------------------
+
+    def _arm_rtx(self) -> None:
+        if self._rtx_timer is not None:
+            self._rtx_timer.cancel()
+        self._rtx_timer = self.sim.schedule(self.rto.rto_ns, self._on_rtx_timeout)
+
+    def _cancel_rtx(self) -> None:
+        if self._rtx_timer is not None:
+            self._rtx_timer.cancel()
+            self._rtx_timer = None
+
+    def _on_rtx_timeout(self) -> None:
+        self._rtx_timer = None
+        if self.state == CLOSED:
+            return
+        if self.flight_size() == 0:
+            return
+        self.cong.on_timeout(self.flight_size())
+        self.rto.on_timeout()
+        self._rtt_seq = None  # Karn: abandon the in-flight RTT sample
+        if self.state in (SYN_SENT, SYN_RCVD) or (
+            self._fin_sent and self.snd_una == self._fin_seq
+        ):
+            # Handshake frames and a lone unacked FIN are single-shot.
+            self._retransmit_front()
+        else:
+            # Go-back-N: rewind to the cumulative-ACK point and let the
+            # output engine resend the window forward in slow start —
+            # without this, a multi-loss window only heals one MSS per
+            # (exponentially backed-off) timeout.
+            self.retransmissions += 1
+            if self._fin_sent:
+                self._fin_sent = False  # FIN re-follows the data
+            self.snd_nxt = self.snd_una
+            self._try_output()
+        self._arm_rtx()
+
+    def _retransmit_front(self) -> None:
+        """Resend the oldest unacknowledged chunk."""
+        self.retransmissions += 1
+        if self.state == SYN_SENT:
+            self._transmit(self.iss, SYN, b"")
+            return
+        if self.state == SYN_RCVD:
+            self._transmit(self.iss, SYN | ACK, b"")
+            return
+        if self._fin_sent and self.snd_una == self._fin_seq:
+            self._transmit(self._fin_seq, FIN | ACK, b"")
+            return
+        off = self.snd_una - self._snd_base
+        take = min(self.mss, len(self._sndbuf) - off)
+        if take <= 0:
+            return
+        payload = bytes(self._sndbuf[off : off + take])
+        self._transmit(self.snd_una, ACK | PSH, payload)
+
+    # -- delayed ACK -------------------------------------------------------
+
+    _delack_timer = None
+    DELAYED_ACK_NS = 40_000_000  # 40 ms, Linux-like
+
+    def _schedule_ack(self, force: bool) -> None:
+        self._segs_since_ack += 1
+        if force or self._segs_since_ack >= self.ack_every:
+            self._send_ack()
+            return
+        if self._delack_timer is None:
+            self._delack_timer = self.sim.schedule(self.DELAYED_ACK_NS, self._send_ack)
+
+    def _send_ack(self) -> None:
+        self._cancel_delayed_ack()
+        if self.state == CLOSED:
+            return
+        seg = TcpSegment(
+            src_port=self.local_port,
+            dst_port=self.remote[1],
+            seq=self.snd_nxt,
+            ack_seq=self.rcv_nxt,
+            flags=ACK,
+            window=self._advertised_window(),
+            payload=b"",
+        )
+        self.segments_sent += 1
+        self._segs_since_ack = 0
+        self.stack.transmit_segment(self, seg, pure_ack=True)
+
+    def _cancel_delayed_ack(self) -> None:
+        if self._delack_timer is not None:
+            self._delack_timer.cancel()
+            self._delack_timer = None
+
+    # ------------------------------------------------------------------
+    # Input
+    # ------------------------------------------------------------------
+
+    def on_segment(self, seg: TcpSegment) -> None:
+        self.segments_received += 1
+        if seg.has(RST):
+            self._become_closed(error=True)
+            return
+        if self.state == SYN_SENT:
+            self._input_syn_sent(seg)
+            return
+        if self.state == CLOSED:
+            return
+        # Window update + ACK processing first.
+        if seg.has(ACK):
+            self.peer_window = seg.window
+            self._process_ack(seg)
+            if self.state == CLOSED:
+                return
+        # SYN retransmission of our peer (SYN_RCVD): re-ack.
+        if seg.has(SYN):
+            self._send_ack()
+            return
+        if seg.payload or seg.has(FIN):
+            self._process_payload(seg)
+
+    def _input_syn_sent(self, seg: TcpSegment) -> None:
+        if not (seg.has(SYN) and seg.has(ACK) and seg.ack_seq == self.iss + 1):
+            return
+        self.irs = seg.seq
+        self.rcv_nxt = seg.seq + 1
+        self.snd_una = seg.ack_seq
+        self.peer_window = seg.window
+        self._cancel_rtx()
+        self.state = ESTABLISHED
+        self._send_ack()
+        if not self.established.done:
+            self.established.set_result(self)
+        self._try_output()
+
+    def _process_ack(self, seg: TcpSegment) -> None:
+        ack = seg.ack_seq
+        if ack > self.snd_max:
+            return  # acks data we never sent
+        if ack > self.snd_una:
+            # After a go-back-N rewind the cumulative ACK can land beyond
+            # snd_nxt (it covers data sent before the rewind): fast-forward.
+            self.snd_nxt = max(self.snd_nxt, ack)
+            newly = ack - self.snd_una
+            self.snd_una = ack
+            self._dup_acks = 0
+            self.rto.reset_backoff()
+            # Karn-valid RTT sample?
+            if self._rtt_seq is not None and ack >= self._rtt_seq:
+                self.rto.sample(self.sim.now - self._rtt_sent_at)
+                self._rtt_seq = None
+            # Trim the send buffer below snd_una (SYN/FIN consume no buffer).
+            data_start = max(self._snd_base, self.snd_una)
+            trim = min(data_start - self._snd_base, len(self._sndbuf))
+            if trim > 0:
+                del self._sndbuf[:trim]
+                self._snd_base += trim
+            self.cong.on_ack(newly, self.snd_una)
+            if self.cong.in_recovery:
+                # NewReno partial ack: the cumulative ACK moved but not
+                # past the recovery point, so the next hole starts at the
+                # new snd_una — retransmit it now instead of stalling for
+                # an RTO (RFC 6582).
+                self._retransmit_front()
+            if self.flight_size() == 0:
+                self._cancel_rtx()
+            else:
+                self._arm_rtx()
+            self._handshake_and_fin_acks()
+            self._try_output()
+        elif (
+            ack == self.snd_una
+            and not seg.payload
+            and not seg.has(SYN)
+            and not seg.has(FIN)
+            and self.flight_size() > 0
+        ):
+            self._dup_acks += 1
+            if self._dup_acks == 3:
+                if self.cong.on_dup_acks(self.flight_size(), self.snd_nxt):
+                    self._retransmit_front()
+            elif self._dup_acks > 3:
+                self.cong.on_dup_ack_in_recovery()
+                self._try_output()
+
+    def _handshake_and_fin_acks(self) -> None:
+        if self.state == SYN_RCVD and self.snd_una >= self.iss + 1:
+            self.state = ESTABLISHED
+            if not self.established.done:
+                self.established.set_result(self)
+        if self._fin_sent and self._fin_seq is not None and self.snd_una > self._fin_seq:
+            if self.state == FIN_WAIT_1:
+                self.state = FIN_WAIT_2
+            elif self.state == CLOSING:
+                self._enter_time_wait()
+            elif self.state == LAST_ACK:
+                self._become_closed()
+
+    def _process_payload(self, seg: TcpSegment) -> None:
+        seq, payload = seg.seq, seg.payload
+        fin = seg.has(FIN)
+        # FIN and out-of-order arrivals force an immediate ACK; PSH does
+        # not (it affects delivery urgency, not ACK scheduling).
+        force_ack = fin
+        if seq == self.rcv_nxt:
+            if payload:
+                self._deliver(payload)
+                self.rcv_nxt += len(payload)
+            self._drain_ooo()
+            if fin and seq + len(payload) == self.rcv_nxt and not self._remote_fin:
+                self._remote_fin = True
+                self.rcv_nxt += 1
+                self._on_remote_fin()
+            self._schedule_ack(force=force_ack or bool(self._ooo))
+        elif seq > self.rcv_nxt:
+            if payload and seq not in self._ooo:
+                self._ooo[seq] = payload
+            if fin:
+                self._ooo.setdefault(("FIN", seq + len(payload)), b"")  # type: ignore[arg-type]
+            self._send_ack()  # duplicate ACK for the gap
+        else:
+            # Old/overlapping data: re-ack so the sender advances.
+            overlap = self.rcv_nxt - seq
+            if overlap < len(payload):
+                self._deliver(payload[overlap:])
+                self.rcv_nxt += len(payload) - overlap
+                self._drain_ooo()
+                self._schedule_ack(force=True)
+            else:
+                self._send_ack()
+
+    def _drain_ooo(self) -> None:
+        while True:
+            payload = self._ooo.pop(self.rcv_nxt, None)
+            if payload is None:
+                fin_key = ("FIN", self.rcv_nxt)
+                if fin_key in self._ooo:
+                    self._ooo.pop(fin_key)
+                    self._remote_fin = True
+                    self.rcv_nxt += 1
+                    self._on_remote_fin()
+                return
+            if payload:
+                self._deliver(payload)
+                self.rcv_nxt += len(payload)
+            else:
+                return
+
+    def _deliver(self, data: bytes) -> None:
+        self.bytes_received += len(data)
+        self.stack.deliver_to_app(self, data)
+
+    def _on_remote_fin(self) -> None:
+        if self.state == ESTABLISHED:
+            self.state = CLOSE_WAIT
+        elif self.state == FIN_WAIT_1:
+            self.state = CLOSING
+        elif self.state == FIN_WAIT_2:
+            self._enter_time_wait()
+        if self.on_close is not None:
+            self.on_close()
+
+    def _enter_time_wait(self) -> None:
+        self.state = TIME_WAIT
+        self._send_ack()
+        # 2*MSL shortened: long enough to ack a retransmitted FIN in-sim.
+        self.sim.schedule(50_000_000, self._become_closed)
+
+    def _become_closed(self, error: bool = False) -> None:
+        if self.state == CLOSED:
+            return
+        self.state = CLOSED
+        self._cancel_rtx()
+        self._cancel_delayed_ack()
+        self.stack.forget(self)
+        if not self.established.done and error:
+            self.established.set_result(None)
+        if not self.closed_future.done:
+            self.closed_future.set_result(error)
+        if error and self.on_close is not None:
+            self.on_close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<TcpConn {self.local_port}<->{self.remote} {self.state} "
+            f"una={self.snd_una} nxt={self.snd_nxt} rcv={self.rcv_nxt}>"
+        )

@@ -1,0 +1,140 @@
+"""Tests for the benchmark harness, report helpers, and cost model."""
+
+import json
+
+import pytest
+
+from repro.bench.harness import BenchError, MODES, VerbsEndpointPair
+from repro.bench.report import (
+    ComparisonReport, format_table, load_json, percent_delta, save_json,
+)
+from repro.models.costs import CostModel, default_cost_model, zero_cost_model
+from repro.models.platform import Platform, paper_defaults
+
+
+class TestCostModel:
+    def test_defaults_positive(self):
+        m = default_cost_model()
+        for name, value in m.describe().items():
+            assert value >= 0, name
+
+    def test_zero_model_all_zero(self):
+        z = zero_cost_model()
+        assert all(v == 0 for v in z.describe().values())
+
+    def test_crc_helper(self):
+        m = CostModel(crc_fixed_ns=100, crc_per_byte_ns=2.0)
+        assert m.crc_ns(50) == 200
+
+    def test_copy_helper(self):
+        m = CostModel(copy_per_byte_ns=0.5)
+        assert m.copy_ns(1000) == 500
+
+    def test_with_overrides_is_a_copy(self):
+        m = default_cost_model()
+        m2 = m.with_overrides(syscall_ns=1)
+        assert m2.syscall_ns == 1
+        assert m.syscall_ns != 1
+
+    def test_describe_covers_all_fields(self):
+        m = default_cost_model()
+        assert set(m.describe()) == set(CostModel.__dataclass_fields__)
+
+
+class TestPlatform:
+    def test_paper_testbed_values(self):
+        p = Platform.paper_testbed()
+        assert p.link_bandwidth_bps == 10e9
+        assert p.mtu == 1500
+
+    def test_wan_variant(self):
+        p = Platform.wan_like(delay_us=5000)
+        assert p.link_delay_ns == 5_000_000
+
+    def test_paper_defaults_pair(self):
+        platform, costs = paper_defaults()
+        assert isinstance(platform, Platform)
+        assert isinstance(costs, CostModel)
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        out = format_table(["a", "bee"], [[1, 22], [333, 4]])
+        lines = out.splitlines()
+        assert len(lines) == 3
+        assert all(len(l) == len(lines[0]) for l in lines)
+
+    def test_save_and_load_json(self, tmp_path):
+        path = tmp_path / "nested" / "out.json"
+        save_json(path, {"x": [1, 2]})
+        assert load_json(path) == {"x": [1, 2]}
+
+    def test_percent_delta(self):
+        assert percent_delta(110, 100) == pytest.approx(10.0)
+        assert percent_delta(90, 100) == pytest.approx(-10.0)
+        assert percent_delta(0, 0) == 0.0
+
+    def test_comparison_report(self):
+        rep = ComparisonReport("t")
+        rep.add("m1", 10.0, 11.0, "us")
+        rep.add("m2", None, 5.0)
+        text = rep.render()
+        assert "m1" in text and "10.0" in text
+        d = rep.as_dict()
+        assert d["rows"][0]["delta_percent"] == 10.0
+        assert d["rows"][1]["delta_percent"] is None
+
+
+class TestHarness:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(BenchError):
+            VerbsEndpointPair.build("carrier_pigeon")
+
+    def test_all_modes_build(self):
+        for mode in MODES:
+            pair = VerbsEndpointPair.build(mode)
+            assert pair.qps[0] is not None and pair.qps[1] is not None
+
+    def test_oversized_message_rejected(self):
+        pair = VerbsEndpointPair.build("ud_sendrecv")
+        with pytest.raises(BenchError):
+            pair.pingpong_latency_us(VerbsEndpointPair.MAX_MSG + 1)
+
+    def test_latency_is_deterministic(self):
+        a = VerbsEndpointPair.build("ud_sendrecv").pingpong_latency_us(64, iters=6)
+        b = VerbsEndpointPair.build("ud_sendrecv").pingpong_latency_us(64, iters=6)
+        assert a == b
+
+    def test_bandwidth_counts_every_message_lossless(self):
+        pair = VerbsEndpointPair.build("ud_write_record")
+        out = pair.bandwidth_mbs(4096, messages=50)
+        assert out["received_msgs"] == 50
+        assert out["received_bytes"] == 50 * 4096
+        assert out["mbs"] > 0
+
+    def test_rc_write_flag_receiver_counts(self):
+        pair = VerbsEndpointPair.build("rc_rdma_write")
+        out = pair.bandwidth_mbs(8192, messages=20)
+        assert out["received_msgs"] == 20
+
+    def test_zero_cost_model_much_faster(self):
+        fast = VerbsEndpointPair.build(
+            "ud_sendrecv", costs=zero_cost_model()
+        ).pingpong_latency_us(64, iters=6)
+        normal = VerbsEndpointPair.build("ud_sendrecv").pingpong_latency_us(64, iters=6)
+        assert fast < normal / 5  # only wire time remains
+
+
+class TestCalibrationAnchors:
+    def test_latency_anchors_within_band(self):
+        from repro.bench.calibration import PAPER_ANCHORS, measure_latency_anchors
+
+        measured = measure_latency_anchors(iters=10)
+        # UD and RC 64 B latency within 20 % of the paper's quotes.
+        assert abs(measured["ud_sendrecv_64B_latency_us"]
+                   - PAPER_ANCHORS["ud_sendrecv_64B_latency_us"]) < 5.5
+        assert abs(measured["rc_sendrecv_64B_latency_us"]
+                   - PAPER_ANCHORS["rc_sendrecv_64B_latency_us"]) < 6.6
+        # Both improvements positive (UD wins at 2 KB).
+        assert measured["udsr_latency_improvement_2K_pct"] > 5
+        assert measured["udwr_latency_improvement_2K_pct"] > 5

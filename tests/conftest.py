@@ -1,0 +1,52 @@
+"""Shared fixtures: testbeds, stacks, devices, verbs endpoints."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.verbs import RnicDevice
+from repro.models.costs import default_cost_model, zero_cost_model
+from repro.simnet.topology import build_testbed
+from repro.transport.stacks import install_stacks
+
+
+@pytest.fixture
+def testbed():
+    """Two hosts through a switch, paper cost model."""
+    return build_testbed(2)
+
+
+@pytest.fixture
+def zero_testbed():
+    """Two hosts with all CPU costs zeroed (pure protocol tests)."""
+    return build_testbed(2, costs=zero_cost_model())
+
+
+@pytest.fixture
+def stacks(testbed):
+    return install_stacks(testbed)
+
+
+@pytest.fixture
+def zero_stacks(zero_testbed):
+    return install_stacks(zero_testbed)
+
+
+@pytest.fixture
+def devices(testbed, stacks):
+    return [RnicDevice(n) for n in stacks]
+
+
+@pytest.fixture
+def zero_devices(zero_testbed, zero_stacks):
+    return [RnicDevice(n) for n in zero_stacks]
+
+
+def run(sim, fut, limit=300_000_000_000):
+    """Run the simulation until ``fut`` resolves (5-minute sim cap)."""
+    return sim.run_until(fut, limit=limit)
+
+
+@pytest.fixture
+def runner():
+    return run

@@ -1,0 +1,166 @@
+"""DDP header encoding and segmentation/reassembly tests."""
+
+import pytest
+
+from repro.core.ddp.headers import (
+    DdpSegment, HeaderError, OP_SEND, OP_WRITE, OP_WRITE_RECORD,
+    QN_SEND, decode_read_request, decode_segment, encode_read_request,
+)
+from repro.core.ddp.segmentation import (
+    ReassemblyError, UntaggedReassembly, plan_segments,
+)
+from repro.core.verbs.wr import RecvWR, Sge
+from repro.memory.region import Access
+from repro.memory.registry import StagRegistry
+
+
+class TestHeaders:
+    def test_untagged_roundtrip(self):
+        seg = DdpSegment(
+            opcode=OP_SEND, last=True, payload=b"data",
+            qn=QN_SEND, msn=7, mo=1024,
+        )
+        out = decode_segment(seg.encode())
+        assert (out.opcode, out.last, out.tagged) == (OP_SEND, True, False)
+        assert (out.qn, out.msn, out.mo) == (QN_SEND, 7, 1024)
+        assert out.payload == b"data"
+        assert out.msg_id is None
+
+    def test_tagged_roundtrip(self):
+        seg = DdpSegment(
+            opcode=OP_WRITE, last=False, payload=b"x" * 50,
+            tagged=True, stag=0xABCD, to=1 << 40,
+        )
+        out = decode_segment(seg.encode())
+        assert out.tagged and out.stag == 0xABCD and out.to == 1 << 40
+        assert not out.last
+
+    def test_ud_extension_roundtrip(self):
+        seg = DdpSegment(
+            opcode=OP_WRITE_RECORD, last=True, payload=b"p",
+            tagged=True, stag=1, to=100,
+            msg_id=42, msg_total=1000, msg_offset=900,
+        )
+        out = decode_segment(seg.encode(), ud=True)
+        assert (out.msg_id, out.msg_total, out.msg_offset) == (42, 1000, 900)
+
+    def test_ud_channel_rejects_missing_extension(self):
+        seg = DdpSegment(opcode=OP_SEND, last=True, payload=b"p")
+        with pytest.raises(HeaderError):
+            decode_segment(seg.encode(), ud=True)
+
+    def test_truncated_rejected(self):
+        seg = DdpSegment(opcode=OP_SEND, last=True, payload=b"payload")
+        data = seg.encode()
+        with pytest.raises(HeaderError):
+            decode_segment(data[:1])
+        with pytest.raises(HeaderError):
+            decode_segment(b"")
+
+    def test_wire_size_accounting(self):
+        seg = DdpSegment(opcode=OP_SEND, last=True, payload=b"12345")
+        assert seg.wire_size == len(seg.encode())
+        seg_ud = DdpSegment(
+            opcode=OP_SEND, last=True, payload=b"12345",
+            msg_id=1, msg_total=5,
+        )
+        assert seg_ud.wire_size == len(seg_ud.encode())
+        assert seg_ud.wire_size == seg.wire_size + 24
+
+    def test_udext_requires_total(self):
+        seg = DdpSegment(opcode=OP_SEND, last=True, payload=b"", msg_id=5)
+        with pytest.raises(HeaderError):
+            seg.encode()
+
+    def test_read_request_payload_roundtrip(self):
+        payload = encode_read_request(1, 2, 3, 4, 5)
+        assert decode_read_request(payload) == (1, 2, 3, 4, 5)
+        with pytest.raises(HeaderError):
+            decode_read_request(payload[:-1])
+
+
+class TestPlanSegments:
+    def test_exact_multiple(self):
+        specs = plan_segments(3000, 1000)
+        assert [(s.offset, s.length, s.last) for s in specs] == [
+            (0, 1000, False), (1000, 1000, False), (2000, 1000, True),
+        ]
+
+    def test_remainder(self):
+        specs = plan_segments(2500, 1000)
+        assert specs[-1].offset == 2000 and specs[-1].length == 500
+        assert specs[-1].last and not specs[0].last
+
+    def test_single_segment(self):
+        specs = plan_segments(10, 1000)
+        assert len(specs) == 1 and specs[0].last
+
+    def test_zero_byte_message_gets_one_segment(self):
+        specs = plan_segments(0, 1000)
+        assert len(specs) == 1
+        assert specs[0].length == 0 and specs[0].last
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            plan_segments(100, 0)
+        with pytest.raises(ValueError):
+            plan_segments(-1, 100)
+
+    def test_coverage_is_exact_partition(self):
+        specs = plan_segments(65537, 65465)
+        assert sum(s.length for s in specs) == 65537
+        assert specs[0].offset == 0
+        for prev, cur in zip(specs, specs[1:]):
+            assert cur.offset == prev.offset + prev.length
+
+
+class TestUntaggedReassembly:
+    def _wr(self, size=100):
+        reg = StagRegistry()
+        mr = reg.register(size, Access.local_only())
+        return RecvWR(sges=[Sge(mr)]), mr
+
+    def test_in_order_completion(self):
+        wr, mr = self._wr()
+        r = UntaggedReassembly(wr, 10)
+        r.place(0, b"hello", last=False)
+        assert not r.complete
+        r.place(5, b"world", last=True)
+        assert r.complete
+        assert bytes(mr.view(0, 10)) == b"helloworld"
+
+    def test_out_of_order_completion(self):
+        wr, mr = self._wr()
+        r = UntaggedReassembly(wr, 10)
+        r.place(5, b"world", last=True)
+        assert not r.complete  # saw last but bytes missing
+        r.place(0, b"hello", last=False)
+        assert r.complete
+
+    def test_message_too_big_for_wr(self):
+        wr, _ = self._wr(size=5)
+        with pytest.raises(ReassemblyError):
+            UntaggedReassembly(wr, 10)
+
+    def test_segment_overrun_rejected(self):
+        wr, _ = self._wr()
+        r = UntaggedReassembly(wr, 10)
+        with pytest.raises(ReassemblyError):
+            r.place(8, b"toolong", last=True)
+
+    def test_scatter_across_multiple_sges(self):
+        reg = StagRegistry()
+        m1 = reg.register(4, Access.local_only())
+        m2 = reg.register(6, Access.local_only())
+        wr = RecvWR(sges=[Sge(m1), Sge(m2)])
+        r = UntaggedReassembly(wr, 10)
+        r.place(0, b"abcdefghij", last=True)
+        assert r.complete
+        assert bytes(m1.view()) == b"abcd"
+        assert bytes(m2.view()) == b"efghij"
+
+    def test_zero_byte_message(self):
+        wr, _ = self._wr()
+        r = UntaggedReassembly(wr, 0)
+        r.place(0, b"", last=True)
+        assert r.complete

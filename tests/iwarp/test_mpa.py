@@ -1,0 +1,203 @@
+"""MPA layer tests: CRC, FPDU framing, markers, full connections."""
+
+import pytest
+
+from repro.core.mpa.crc import CrcError, append_crc, crc32, split_and_verify
+from repro.core.mpa.fpdu import (
+    FramingError, MAX_ULPDU, build_fpdu, fpdu_size, pad_for, parse_fpdu,
+)
+from repro.core.mpa.markers import (
+    MARKER_SIZE, MARKER_SPACING, MarkedStreamReader, MarkedStreamWriter,
+    marker_count_for,
+)
+from repro.core.mpa.connection import MpaConnection, OPERATIONAL
+from repro.simnet.engine import MS, SEC
+from repro.transport.stacks import install_stacks
+
+
+class TestCrc:
+    def test_roundtrip(self):
+        assert split_and_verify(append_crc(b"payload")) == b"payload"
+
+    def test_corruption_detected(self):
+        framed = bytearray(append_crc(b"payload"))
+        framed[2] ^= 0xFF
+        with pytest.raises(CrcError):
+            split_and_verify(bytes(framed))
+
+    def test_trailer_corruption_detected(self):
+        framed = bytearray(append_crc(b"payload"))
+        framed[-1] ^= 0x01
+        with pytest.raises(CrcError):
+            split_and_verify(bytes(framed))
+
+    def test_too_short(self):
+        with pytest.raises(CrcError):
+            split_and_verify(b"ab")
+
+    def test_crc32_deterministic(self):
+        assert crc32(b"abc") == crc32(b"abc")
+        assert crc32(b"abc") != crc32(b"abd")
+
+
+class TestFpdu:
+    def test_padding_math(self):
+        # header is 2 bytes; total pre-CRC must be 4-aligned.
+        assert pad_for(0) == 2
+        assert pad_for(2) == 0
+        assert pad_for(3) == 3
+        assert pad_for(6) == 0
+
+    def test_size_accounting(self):
+        for n in (0, 1, 2, 3, 100, 1408):
+            assert fpdu_size(n) == len(build_fpdu(b"x" * n))
+            assert fpdu_size(n) % 4 == 0
+
+    def test_roundtrip(self):
+        ulpdu = b"hello world"
+        frame = build_fpdu(ulpdu)
+        parsed, consumed = parse_fpdu(frame, 0)
+        assert parsed == ulpdu and consumed == len(frame)
+
+    def test_partial_buffer_returns_none(self):
+        frame = build_fpdu(b"data")
+        assert parse_fpdu(frame[:-1], 0) is None
+        assert parse_fpdu(b"", 0) is None
+
+    def test_corrupted_fpdu_raises(self):
+        frame = bytearray(build_fpdu(b"data"))
+        frame[3] ^= 0x80
+        with pytest.raises(CrcError):
+            parse_fpdu(bytes(frame), 0)
+
+    def test_oversized_ulpdu_rejected(self):
+        with pytest.raises(FramingError):
+            build_fpdu(b"x" * (MAX_ULPDU + 1))
+
+    def test_crc_disabled_mode(self):
+        frame = build_fpdu(b"data", crc_enabled=False)
+        parsed, consumed = parse_fpdu(frame, 0, crc_enabled=False)
+        assert parsed == b"data"
+        assert len(frame) == fpdu_size(4, crc_enabled=False)
+
+    def test_back_to_back_parse_with_offset(self):
+        stream = build_fpdu(b"one") + build_fpdu(b"three")
+        first, n1 = parse_fpdu(stream, 0)
+        second, n2 = parse_fpdu(stream, n1)
+        assert (first, second) == (b"one", b"three")
+        assert n1 + n2 == len(stream)
+
+
+class TestMarkers:
+    def test_marker_positions_every_512(self):
+        w = MarkedStreamWriter()
+        wire, inserted = w.emit_fpdu(b"a" * 1200)
+        # Marker at stream position 0, 512, 1024.
+        assert inserted == 3
+        assert len(wire) == 1200 + 3 * MARKER_SIZE
+
+    def test_roundtrip_chunked_arbitrarily(self):
+        w, r = MarkedStreamWriter(), MarkedStreamReader()
+        data = [bytes([i]) * (37 * i % 900 + 1) for i in range(1, 40)]
+        wire = bytearray()
+        for d in data:
+            out, _ = w.emit_fpdu(d)
+            wire += out
+        recovered = bytearray()
+        # Feed in pathological 1-byte chunks.
+        for i in range(len(wire)):
+            recovered += r.feed(bytes(wire[i : i + 1]))
+        assert bytes(recovered) == b"".join(data)
+        assert r.markers_stripped == w.markers_emitted
+
+    def test_disabled_markers_pass_through(self):
+        w = MarkedStreamWriter(enabled=False)
+        wire, inserted = w.emit_fpdu(b"z" * 2000)
+        assert inserted == 0 and wire == b"z" * 2000
+        r = MarkedStreamReader(enabled=False)
+        assert r.feed(wire) == wire
+
+    def test_marker_pointer_values(self):
+        w, r = MarkedStreamWriter(), MarkedStreamReader()
+        wire, _ = w.emit_fpdu(b"q" * 600)
+        r.feed(wire)
+        # The marker inside the FPDU (at position 512) points back to the
+        # FPDU start at stream position 0... which is itself a marker
+        # boundary, so the in-FPDU back-distance is 512.
+        assert r.last_marker_pointer in (0, 512)
+
+    def test_marker_count_helper_matches_writer(self):
+        w = MarkedStreamWriter()
+        pos = 0
+        for size in (100, 511, 512, 2000, 3):
+            expected = marker_count_for(size, pos)
+            wire, inserted = w.emit_fpdu(b"m" * size)
+            assert inserted == expected
+            pos += len(wire)
+
+    def test_spacing_validation(self):
+        with pytest.raises(ValueError):
+            MarkedStreamWriter(spacing=3)
+        with pytest.raises(ValueError):
+            MarkedStreamReader(spacing=4)
+
+
+class TestMpaConnection:
+    def _pair(self, zero_testbed, markers=True, crc=True):
+        nets = install_stacks(zero_testbed)
+        listener = nets[1].tcp.listen(4000)
+        server_conn = {}
+        listener.on_accept = lambda sock: server_conn.setdefault(
+            "mpa", MpaConnection(sock, initiator=False, markers=markers, crc=crc)
+        )
+        cli_sock = nets[0].tcp.connect((1, 4000))
+        cli = MpaConnection(cli_sock, initiator=True, markers=markers, crc=crc)
+        zero_testbed.sim.run_until(cli.ready, limit=5 * SEC)
+        return cli, server_conn["mpa"], zero_testbed.sim
+
+    def test_negotiation_reaches_operational(self, zero_testbed):
+        cli, srv, sim = self._pair(zero_testbed)
+        assert cli.state == OPERATIONAL
+        assert srv.state == OPERATIONAL
+
+    def test_ulpdus_delivered_intact_both_ways(self, zero_testbed):
+        cli, srv, sim = self._pair(zero_testbed)
+        got_s, got_c = [], []
+        srv.on_ulpdu = got_s.append
+        cli.on_ulpdu = got_c.append
+        msgs = [bytes([i]) * (i * 100 + 1) for i in range(8)]
+        for m in msgs:
+            cli.send_ulpdu(m)
+            srv.send_ulpdu(m[::-1])
+        sim.run(until=sim.now + 1 * SEC)
+        assert got_s == msgs
+        assert got_c == [m[::-1] for m in msgs]
+
+    def test_capability_mismatch_fails(self, zero_testbed):
+        nets = install_stacks(zero_testbed)
+        listener = nets[1].tcp.listen(4000)
+        holder = {}
+        listener.on_accept = lambda sock: holder.setdefault(
+            "mpa", MpaConnection(sock, initiator=False, markers=False)
+        )
+        cli_sock = nets[0].tcp.connect((1, 4000))
+        cli = MpaConnection(cli_sock, initiator=True, markers=True)
+        zero_testbed.sim.run(until=5 * SEC)
+        assert holder["mpa"].state == "FAILED"
+
+    def test_markerless_mode_works(self, zero_testbed):
+        cli, srv, sim = self._pair(zero_testbed, markers=False)
+        got = []
+        srv.on_ulpdu = got.append
+        cli.send_ulpdu(b"no-markers")
+        sim.run(until=sim.now + 1 * SEC)
+        assert got == [b"no-markers"]
+
+    def test_counters(self, zero_testbed):
+        cli, srv, sim = self._pair(zero_testbed)
+        srv.on_ulpdu = lambda u: None
+        for _ in range(5):
+            cli.send_ulpdu(b"x" * 700)
+        sim.run(until=sim.now + 1 * SEC)
+        assert cli.ulpdus_sent == 5
+        assert srv.ulpdus_received == 5

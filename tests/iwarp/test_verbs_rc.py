@@ -1,0 +1,249 @@
+"""Connected (RC) verbs tests: the traditional iWARP baseline."""
+
+import pytest
+
+from repro.core.verbs import (
+    QpError, RecvWR, SendWR, Sge, WcStatus, WrOpcode,
+)
+from repro.memory.region import Access
+from repro.simnet.engine import MS, SEC
+
+RUN_LIMIT = 600 * SEC
+
+
+@pytest.fixture
+def rc(zero_testbed, zero_devices):
+    """An established RC pair (host0 active, host1 passive)."""
+    devA, devB = zero_devices
+    pdA, pdB = devA.alloc_pd(), devB.alloc_pd()
+    cqA, cqB = devA.create_cq(), devB.create_cq()
+    listener = devB.rc_listen(4791, pdB, lambda: cqB)
+    qpA = devA.rc_connect((1, 4791), pdA, cqA)
+    accepted = listener.accept_future()
+    zero_testbed.sim.run_until(qpA.ready, limit=RUN_LIMIT)
+    zero_testbed.sim.run_until(accepted, limit=RUN_LIMIT)
+    return {
+        "tb": zero_testbed, "sim": zero_testbed.sim,
+        "devs": (devA, devB), "pds": (pdA, pdB),
+        "cqs": (cqA, cqB), "qps": (qpA, accepted.value),
+    }
+
+
+def _poll(env, side, timeout=5000 * MS):
+    fut = env["cqs"][side].poll_wait(timeout_ns=timeout)
+    env["sim"].run_until(fut, limit=RUN_LIMIT)
+    return fut.value
+
+
+class TestConnection:
+    def test_establishment(self, rc):
+        assert rc["qps"][0].state == "RTS"
+        assert rc["qps"][1].state == "RTS"
+
+    def test_connect_to_missing_listener_never_ready(self, zero_testbed, zero_devices):
+        devA, _ = zero_devices
+        pd = devA.alloc_pd()
+        qp = devA.rc_connect((1, 9999), pd, devA.create_cq())
+        zero_testbed.sim.run(until=5 * SEC)
+        assert not qp.ready.done or qp.ready.value is None
+
+    def test_multiple_connections_same_listener(self, zero_testbed, zero_devices):
+        devA, devB = zero_devices
+        pdA, pdB = devA.alloc_pd(), devB.alloc_pd()
+        listener = devB.rc_listen(4791, pdB, devB.create_cq)
+        qps = [devA.rc_connect((1, 4791), pdA, devA.create_cq()) for _ in range(3)]
+        for qp in qps:
+            zero_testbed.sim.run_until(qp.ready, limit=RUN_LIMIT)
+            assert qp.state == "RTS"
+
+
+class TestSendRecv:
+    def test_in_order_delivery(self, rc):
+        devA, devB = rc["devs"]
+        dst = devB.reg_mr(1024, Access.local_only(), rc["pds"][1])
+        for _ in range(3):
+            rc["qps"][1].post_recv(RecvWR(sges=[Sge(dst)]))
+        for i in range(3):
+            src = devA.reg_mr(
+                bytearray(f"msg-{i}".encode()), Access.local_only(), rc["pds"][0]
+            )
+            rc["qps"][0].post_send(SendWR(
+                opcode=WrOpcode.SEND, sges=[Sge(src)], signaled=False,
+            ))
+        lens = []
+        for i in range(3):
+            wcs = _poll(rc, 1)
+            assert wcs[0].ok
+            lens.append(wcs[0].byte_len)
+            # The last-arrived message overwrote dst each time (single
+            # buffer reused): in-order semantics give deterministic final
+            # content.
+        assert bytes(dst.view(0, 5)) == b"msg-2"
+
+    def test_multi_segment_send(self, rc):
+        devA, devB = rc["devs"]
+        size = 50_000  # > MULPDU: many DDP segments over MPA
+        payload = bytes((i * 11) & 0xFF for i in range(size))
+        src = devA.reg_mr(bytearray(payload), Access.local_only(), rc["pds"][0])
+        dst = devB.reg_mr(size, Access.local_only(), rc["pds"][1])
+        rc["qps"][1].post_recv(RecvWR(sges=[Sge(dst)]))
+        rc["qps"][0].post_send(SendWR(opcode=WrOpcode.SEND, sges=[Sge(src)]))
+        wcs = _poll(rc, 1)
+        assert wcs[0].ok and wcs[0].byte_len == size
+        assert bytes(dst.view(0, size)) == payload
+
+    def test_no_posted_receive_is_fatal_on_rc(self, rc):
+        """The §IV.B item 2 relaxation is UD-only: on RC an unmatched
+        untagged arrival errors the stream."""
+        devA, _ = rc["devs"]
+        src = devA.reg_mr(bytearray(b"x"), Access.local_only(), rc["pds"][0])
+        rc["qps"][0].post_send(SendWR(
+            opcode=WrOpcode.SEND, sges=[Sge(src)], signaled=False,
+        ))
+        rc["sim"].run(until=rc["sim"].now + 200 * MS)
+        assert rc["qps"][1].state == "ERROR"
+        # The terminate propagates back and errors the initiator too.
+        assert rc["qps"][0].state == "ERROR"
+
+    def test_post_on_errored_qp_rejected(self, rc):
+        devA, _ = rc["devs"]
+        rc["qps"][0]._enter_error("test")
+        src = devA.reg_mr(bytearray(b"x"), Access.local_only(), rc["pds"][0])
+        with pytest.raises(QpError):
+            rc["qps"][0].post_send(SendWR(opcode=WrOpcode.SEND, sges=[Sge(src)]))
+
+    def test_flush_on_error_completes_recvs(self, rc):
+        devB = rc["devs"][1]
+        dst = devB.reg_mr(64, Access.local_only(), rc["pds"][1])
+        rc["qps"][1].post_recv(RecvWR(sges=[Sge(dst)]))
+        rc["qps"][1]._enter_error("test")
+        wcs = rc["cqs"][1].poll()
+        assert wcs and wcs[0].status is WcStatus.FLUSHED
+
+    def test_dest_address_rejected_on_rc(self, rc):
+        devA, _ = rc["devs"]
+        src = devA.reg_mr(bytearray(b"x"), Access.local_only(), rc["pds"][0])
+        with pytest.raises(QpError):
+            rc["qps"][0].post_send(SendWR(
+                opcode=WrOpcode.SEND, sges=[Sge(src)], dest=(1, 1),
+            ))
+
+
+class TestRdmaWrite:
+    def test_silent_placement(self, rc):
+        devA, devB = rc["devs"]
+        sink = devB.reg_mr(4096, Access.remote_write(), rc["pds"][1])
+        payload = b"one-sided" * 100
+        src = devA.reg_mr(bytearray(payload), Access.local_only(), rc["pds"][0])
+        rc["qps"][0].post_send(SendWR(
+            opcode=WrOpcode.RDMA_WRITE, sges=[Sge(src)],
+            remote_stag=sink.stag, remote_offset=128, signaled=False,
+        ))
+        rc["sim"].run(until=rc["sim"].now + 100 * MS)
+        assert bytes(sink.view(128, len(payload))) == payload
+        # Truly silent: no completion at the target.
+        assert rc["cqs"][1].poll() == []
+
+    def test_write_then_notify_send(self, rc):
+        """Fig. 3 top: RC Write visibility via a follow-up send."""
+        devA, devB = rc["devs"]
+        sink = devB.reg_mr(1024, Access.remote_write(), rc["pds"][1])
+        src = devA.reg_mr(bytearray(b"VALID"), Access.local_only(), rc["pds"][0])
+        rc["qps"][1].post_recv(RecvWR(sges=[]))
+        rc["qps"][0].post_send(SendWR(
+            opcode=WrOpcode.RDMA_WRITE, sges=[Sge(src)],
+            remote_stag=sink.stag, remote_offset=0, signaled=False,
+        ))
+        rc["qps"][0].post_send(SendWR(opcode=WrOpcode.SEND, sges=[], signaled=False))
+        wcs = _poll(rc, 1)
+        assert wcs[0].ok
+        # In-order RC guarantees the write landed before the send.
+        assert bytes(sink.view(0, 5)) == b"VALID"
+
+    def test_write_protection_error_terminates(self, rc):
+        devA, devB = rc["devs"]
+        sink = devB.reg_mr(64, Access.local_only(), rc["pds"][1])
+        src = devA.reg_mr(bytearray(b"x"), Access.local_only(), rc["pds"][0])
+        rc["qps"][0].post_send(SendWR(
+            opcode=WrOpcode.RDMA_WRITE, sges=[Sge(src)],
+            remote_stag=sink.stag, remote_offset=0, signaled=False,
+        ))
+        rc["sim"].run(until=rc["sim"].now + 200 * MS)
+        assert rc["qps"][1].state == "ERROR"
+        assert rc["qps"][1].rx.remote_access_errors == 1
+
+    def test_memory_flag_watch_detects_completion(self, rc):
+        """The §IV.B.3 'flagged bit in memory that is polled upon'."""
+        devA, devB = rc["devs"]
+        sink = devB.reg_mr(1000, Access.remote_write(), rc["pds"][1])
+        fired = []
+        sink.add_write_watch(999, 1, lambda off, ln: fired.append(rc["sim"].now))
+        src = devA.reg_mr(bytearray(1000), Access.local_only(), rc["pds"][0])
+        rc["qps"][0].post_send(SendWR(
+            opcode=WrOpcode.RDMA_WRITE, sges=[Sge(src)],
+            remote_stag=sink.stag, remote_offset=0, signaled=False,
+        ))
+        rc["sim"].run(until=rc["sim"].now + 100 * MS)
+        assert len(fired) == 1
+
+
+class TestRdmaRead:
+    def test_basic_read(self, rc):
+        devA, devB = rc["devs"]
+        data = b"read-me" * 64
+        region = devB.reg_mr(bytearray(data), Access.remote_read(), rc["pds"][1])
+        sink = devA.reg_mr(len(data), Access.local_only(), rc["pds"][0])
+        rc["qps"][0].post_send(SendWR(
+            opcode=WrOpcode.RDMA_READ, sges=[Sge(sink)],
+            remote_stag=region.stag, remote_offset=0,
+        ))
+        wcs = _poll(rc, 0)
+        assert wcs[0].ok and wcs[0].opcode is WrOpcode.RDMA_READ
+        assert bytes(sink.view()) == data
+
+    def test_read_at_offset(self, rc):
+        devA, devB = rc["devs"]
+        region = devB.reg_mr(bytearray(b"0123456789"), Access.remote_read(), rc["pds"][1])
+        sink = devA.reg_mr(4, Access.local_only(), rc["pds"][0])
+        rc["qps"][0].post_send(SendWR(
+            opcode=WrOpcode.RDMA_READ, sges=[Sge(sink)],
+            remote_stag=region.stag, remote_offset=3,
+        ))
+        wcs = _poll(rc, 0)
+        assert wcs[0].ok and bytes(sink.view()) == b"3456"
+
+    def test_large_read_multi_segment(self, rc):
+        devA, devB = rc["devs"]
+        size = 40_000
+        data = bytes((7 * i) & 0xFF for i in range(size))
+        region = devB.reg_mr(bytearray(data), Access.remote_read(), rc["pds"][1])
+        sink = devA.reg_mr(size, Access.local_only(), rc["pds"][0])
+        rc["qps"][0].post_send(SendWR(
+            opcode=WrOpcode.RDMA_READ, sges=[Sge(sink)],
+            remote_stag=region.stag, remote_offset=0,
+        ))
+        wcs = _poll(rc, 0)
+        assert wcs[0].ok and bytes(sink.view()) == data
+
+    def test_read_without_remote_read_right_terminates(self, rc):
+        devA, devB = rc["devs"]
+        region = devB.reg_mr(64, Access.local_only(), rc["pds"][1])
+        sink = devA.reg_mr(64, Access.local_only(), rc["pds"][0])
+        rc["qps"][0].post_send(SendWR(
+            opcode=WrOpcode.RDMA_READ, sges=[Sge(sink)],
+            remote_stag=region.stag, remote_offset=0,
+        ))
+        rc["sim"].run(until=rc["sim"].now + 200 * MS)
+        assert rc["qps"][1].state == "ERROR"
+
+    def test_read_sink_needs_local_write(self, rc):
+        devA, devB = rc["devs"]
+        region = devB.reg_mr(64, Access.remote_read(), rc["pds"][1])
+        # A read-only sink is rejected locally before any wire traffic.
+        ro = devA.registry.register(bytearray(64), Access.LOCAL_READ, rc["pds"][0])
+        rc["qps"][0].post_send(SendWR(
+            opcode=WrOpcode.RDMA_READ, sges=[Sge(ro)],
+            remote_stag=region.stag, remote_offset=0,
+        ))
+        wcs = _poll(rc, 0)
+        assert wcs[0].status is WcStatus.LOCAL_PROTECTION_ERROR

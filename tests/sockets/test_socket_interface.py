@@ -1,0 +1,261 @@
+"""iWARP socket interface (shim) tests: datagram, stream, interception."""
+
+import pytest
+
+from repro.core.socketif import (
+    Interceptor, IwSocketInterface, NativeSocketApi, SOCK_DGRAM, SOCK_STREAM,
+    SocketError,
+)
+from repro.core.verbs import RnicDevice
+from repro.simnet.engine import MS, SEC
+
+RUN_LIMIT = 600 * SEC
+
+
+@pytest.fixture
+def apis(zero_testbed, zero_stacks):
+    devs = [RnicDevice(n) for n in zero_stacks]
+    return (
+        zero_testbed,
+        IwSocketInterface(devs[0], rdma_mode=True, pool_slots=8, pool_slot_bytes=8192),
+        IwSocketInterface(devs[1], rdma_mode=True, pool_slots=8, pool_slot_bytes=8192),
+    )
+
+
+@pytest.fixture
+def sr_apis(zero_testbed, zero_stacks):
+    devs = [RnicDevice(n) for n in zero_stacks]
+    return (
+        zero_testbed,
+        IwSocketInterface(devs[0], rdma_mode=False, pool_slots=8, pool_slot_bytes=8192),
+        IwSocketInterface(devs[1], rdma_mode=False, pool_slots=8, pool_slot_bytes=8192),
+    )
+
+
+def _echo_once(tb, a, b, payload):
+    """b echoes one datagram; returns what a got back."""
+    result = {}
+
+    def server():
+        fd = b.socket(SOCK_DGRAM, port=7000)
+        got = yield b.recvfrom_future(fd, 65536, timeout_ns=5 * SEC)
+        data, src = got
+        b.sendto(fd, b"echo:" + data, src)
+
+    def client():
+        fd = a.socket(SOCK_DGRAM)
+        a.sendto(fd, payload, (1, 7000))
+        got = yield a.recvfrom_future(fd, 65536, timeout_ns=5 * SEC)
+        result["data"] = got[0] if got else None
+
+    tb.sim.process(server())
+    done = tb.sim.process(client()).finished
+    tb.sim.run_until(done, limit=RUN_LIMIT)
+    return result["data"]
+
+
+class TestDgram:
+    def test_echo_write_record_mode(self, apis):
+        tb, a, b = apis
+        assert _echo_once(tb, a, b, b"payload") == b"echo:payload"
+
+    def test_echo_sendrecv_mode(self, sr_apis):
+        tb, a, b = sr_apis
+        assert _echo_once(tb, a, b, b"payload") == b"echo:payload"
+
+    def test_large_datagram_write_record(self, apis):
+        tb, a, b = apis
+        payload = bytes(i & 0xFF for i in range(50_000))
+        assert _echo_once(tb, a, b, payload) == b"echo:" + payload
+
+    def test_recvfrom_timeout_returns_none(self, apis):
+        tb, a, _ = apis
+        result = {}
+
+        def client():
+            fd = a.socket(SOCK_DGRAM)
+            result["got"] = yield a.recvfrom_future(fd, 100, timeout_ns=5 * MS)
+
+        done = tb.sim.process(client()).finished
+        tb.sim.run_until(done, limit=RUN_LIMIT)
+        assert result["got"] is None
+
+    def test_bufsize_truncates(self, apis):
+        tb, a, b = apis
+        result = {}
+
+        def server():
+            fd = b.socket(SOCK_DGRAM, port=7001)
+            got = yield b.recvfrom_future(fd, 4, timeout_ns=5 * SEC)
+            result["got"] = got
+
+        def client():
+            fd = a.socket(SOCK_DGRAM)
+            a.sendto(fd, b"0123456789", (1, 7001))
+            yield 0
+
+        tb.sim.process(client())
+        done = tb.sim.process(server()).finished
+        tb.sim.run_until(done, limit=RUN_LIMIT)
+        assert result["got"][0] == b"0123"
+
+    def test_oversized_untagged_datagram_rejected(self, sr_apis):
+        _, a, _ = sr_apis
+        fd = a.socket(SOCK_DGRAM)
+        with pytest.raises(SocketError):
+            a.sendto(fd, b"x" * 10_000, (1, 7000))  # > pool slot 8192
+
+    def test_getsockname(self, apis):
+        _, a, _ = apis
+        fd = a.socket(SOCK_DGRAM, port=4321)
+        assert a.getsockname(fd) == (0, 4321)
+
+    def test_bad_fd_raises(self, apis):
+        _, a, _ = apis
+        with pytest.raises(SocketError):
+            a.sendto(999, b"x", (1, 1))
+
+    def test_close_releases_fd(self, apis):
+        _, a, _ = apis
+        fd = a.socket(SOCK_DGRAM)
+        n = a.open_fds()
+        a.close(fd)
+        assert a.open_fds() == n - 1
+
+    def test_one_advertisement_per_peer(self, apis):
+        """§VI.B.1: buffers are not re-advertised per message."""
+        tb, a, b = apis
+        regs_before = {}
+
+        def server():
+            fd = b.socket(SOCK_DGRAM, port=7002)
+            got = yield b.recvfrom_future(fd, 65536, timeout_ns=5 * SEC)
+            assert got is not None
+            # After the first message the peer's ring exists; no further
+            # registrations may happen for subsequent messages.
+            regs_before["n"] = b.device.registry.registrations
+            for _ in range(4):
+                got = yield b.recvfrom_future(fd, 65536, timeout_ns=5 * SEC)
+                assert got is not None
+
+        def client():
+            fd = a.socket(SOCK_DGRAM)
+            for i in range(5):
+                a.sendto(fd, bytes([i]) * 100, (1, 7002))
+                yield 1 * MS
+
+        srv = tb.sim.process(server())
+        tb.sim.process(client())
+        tb.sim.run_until(srv.finished, limit=RUN_LIMIT)
+        assert b.device.registry.registrations == regs_before["n"]
+
+
+class TestStream:
+    def test_connect_send_recv(self, apis):
+        tb, a, b = apis
+        result = {}
+
+        def server():
+            lfd = b.socket(SOCK_STREAM)
+            b.listen(lfd, 8080)
+            cfd = yield b.accept_future(lfd)
+            got = b""
+            while len(got) < 10:
+                got += yield b.recv_future(cfd, 1 << 16)
+            b.send(cfd, got.upper())
+
+        def client():
+            fd = a.socket(SOCK_STREAM)
+            yield a.connect_future(fd, (1, 8080))
+            a.send(fd, b"streamdata")
+            result["got"] = yield a.recv_future(fd, 1 << 16)
+
+        tb.sim.process(server())
+        done = tb.sim.process(client()).finished
+        tb.sim.run_until(done, limit=RUN_LIMIT)
+        assert result["got"] == b"STREAMDATA"
+
+    def test_large_stream_transfer(self, apis):
+        tb, a, b = apis
+        payload = bytes((i * 13) & 0xFF for i in range(300_000))
+        result = {"got": b""}
+
+        def server():
+            lfd = b.socket(SOCK_STREAM)
+            b.listen(lfd, 8081)
+            cfd = yield b.accept_future(lfd)
+            while len(result["got"]) < len(payload):
+                result["got"] += yield b.recv_future(cfd, 1 << 20)
+
+        def client():
+            fd = a.socket(SOCK_STREAM)
+            yield a.connect_future(fd, (1, 8081))
+            a.send(fd, payload)
+
+        srv = tb.sim.process(server())
+        tb.sim.process(client())
+        tb.sim.run_until(srv.finished, limit=RUN_LIMIT)
+        assert result["got"] == payload
+
+    def test_send_before_connect_raises(self, apis):
+        _, a, _ = apis
+        fd = a.socket(SOCK_STREAM)
+        with pytest.raises(SocketError):
+            a.send(fd, b"early")
+
+    def test_stream_ops_on_dgram_fd_rejected(self, apis):
+        _, a, _ = apis
+        fd = a.socket(SOCK_DGRAM)
+        with pytest.raises(SocketError):
+            a.send(fd, b"x")
+
+
+class TestNativeAndInterceptor:
+    def test_native_dgram_echo(self, zero_testbed, zero_stacks):
+        tb = zero_testbed
+        a = NativeSocketApi(zero_stacks[0])
+        b = NativeSocketApi(zero_stacks[1])
+        assert _echo_once(tb, a, b, b"native") == b"echo:native"
+
+    def test_native_stream(self, zero_testbed, zero_stacks):
+        tb = zero_testbed
+        a = NativeSocketApi(zero_stacks[0])
+        b = NativeSocketApi(zero_stacks[1])
+        result = {}
+
+        def server():
+            lfd = b.socket(SOCK_STREAM)
+            b.listen(lfd, 8082)
+            cfd = yield b.accept_future(lfd)
+            data = yield b.recv_future(cfd, 100)
+            b.send(cfd, data[::-1])
+
+        def client():
+            fd = a.socket(SOCK_STREAM)
+            yield a.connect_future(fd, (1, 8082))
+            a.send(fd, b"abc")
+            result["got"] = yield a.recv_future(fd, 100)
+
+        tb.sim.process(server())
+        done = tb.sim.process(client()).finished
+        tb.sim.run_until(done, limit=RUN_LIMIT)
+        assert result["got"] == b"cba"
+
+    def test_interceptor_routes_dgram_to_iwarp(self, zero_testbed, zero_stacks):
+        tb = zero_testbed
+        devs = [RnicDevice(n) for n in zero_stacks]
+        iw = [IwSocketInterface(d, pool_slots=4, pool_slot_bytes=4096) for d in devs]
+        nat = [NativeSocketApi(n) for n in zero_stacks]
+        # Intercept datagrams only.
+        ia = Interceptor(nat[0], iw[0], intercept_dgram=True, intercept_stream=False)
+        ib = Interceptor(nat[1], iw[1], intercept_dgram=True, intercept_stream=False)
+        assert _echo_once(tb, ia, ib, b"through-shim") == b"echo:through-shim"
+        # The iWARP devices saw the traffic (registrations happened).
+        assert devs[0].registry.registrations > 0
+
+    def test_interceptor_passthrough_when_disabled(self, zero_testbed, zero_stacks):
+        tb = zero_testbed
+        nat = [NativeSocketApi(n) for n in zero_stacks]
+        ia = Interceptor(nat[0], None)
+        ib = Interceptor(nat[1], None)
+        assert _echo_once(tb, ia, ib, b"plain") == b"echo:plain"

@@ -1,0 +1,129 @@
+"""Reliable-UDP (RD lower layer) tests."""
+
+import pytest
+
+from repro.simnet.engine import MS, SEC
+from repro.simnet.loss import BernoulliLoss, ExplicitLoss
+from repro.transport.ip import IpStack
+from repro.transport.rudp import RUDP_MAX_PAYLOAD, RudpError, RudpSocket
+from repro.transport.udp import UdpStack
+
+
+@pytest.fixture
+def rudp_pair(zero_testbed):
+    socks = []
+    for h in zero_testbed.hosts:
+        ip = IpStack(h)
+        udp = UdpStack(h, ip)
+        socks.append(RudpSocket(udp.socket(6000), rto_ns=2 * MS))
+    return zero_testbed, socks[0], socks[1]
+
+
+def test_basic_delivery_preserves_boundaries(rudp_pair):
+    tb, a, b = rudp_pair
+    got = []
+    b.on_message = lambda d, src: got.append(d)
+    a.sendto(b"first", (1, 6000))
+    a.sendto(b"second", (1, 6000))
+    tb.sim.run(until=1 * SEC)
+    assert got == [b"first", b"second"]
+
+
+def test_lost_message_retransmitted(rudp_pair):
+    tb, a, b = rudp_pair
+    tb.set_egress_loss(0, ExplicitLoss([1]))
+    got = []
+    b.on_message = lambda d, src: got.append(d)
+    a.sendto(b"precious", (1, 6000))
+    tb.sim.run(until=1 * SEC)
+    assert got == [b"precious"]
+    assert a.retransmissions >= 1
+
+
+def test_in_order_delivery_under_loss(rudp_pair):
+    tb, a, b = rudp_pair
+    tb.set_egress_loss(0, BernoulliLoss(0.15, seed=4))
+    got = []
+    b.on_message = lambda d, src: got.append(d)
+    msgs = [f"msg-{i}".encode() for i in range(200)]
+    for m in msgs:
+        a.sendto(m, (1, 6000))
+    tb.sim.run(until=60 * SEC)
+    assert got == msgs  # exactly once, in order
+
+
+def test_duplicate_suppression(rudp_pair):
+    tb, a, b = rudp_pair
+    # Drop the first ACK so the sender retransmits a delivered message.
+    tb.set_egress_loss(1, ExplicitLoss([1]))
+    got = []
+    b.on_message = lambda d, src: got.append(d)
+    a.sendto(b"once", (1, 6000))
+    tb.sim.run(until=1 * SEC)
+    assert got == [b"once"]
+    assert b.duplicates_dropped >= 1
+
+
+def test_window_limits_inflight(rudp_pair):
+    tb, a, b = rudp_pair
+    a.window_msgs = 4
+    got = []
+    b.on_message = lambda d, src: got.append(d)
+    for i in range(20):
+        a.sendto(bytes([i]), (1, 6000))
+    assert a.unacked_messages((1, 6000)) <= 4
+    tb.sim.run(until=5 * SEC)
+    assert len(got) == 20
+
+
+def test_oversized_message_rejected(rudp_pair):
+    _, a, _ = rudp_pair
+    with pytest.raises(RudpError):
+        a.sendto(b"x" * (RUDP_MAX_PAYLOAD + 1), (1, 6000))
+
+
+def test_peer_failure_reported_after_retries(zero_testbed):
+    # Only host 0 has a stack; the peer simply doesn't exist.
+    ip = IpStack(zero_testbed.hosts[0])
+    udp = UdpStack(zero_testbed.hosts[0], ip)
+    sock = RudpSocket(udp.socket(), rto_ns=1 * MS, max_retries=3)
+    failures = []
+    sock.on_peer_failed = failures.append
+    sock.sendto(b"void", (1, 7000))
+    zero_testbed.sim.run(until=1 * SEC)
+    assert failures == [(1, 7000)]
+
+
+def test_recv_future_interface(rudp_pair):
+    tb, a, b = rudp_pair
+    results = []
+
+    def proc():
+        data, src = yield b.recv_future()
+        results.append((data, src))
+
+    tb.sim.process(proc())
+    a.sendto(b"hello", (1, 6000))
+    tb.sim.run(until=1 * SEC)
+    assert results == [(b"hello", (0, 6000))]
+
+
+def test_per_peer_sequence_spaces(zero_testbed):
+    ips = [IpStack(h) for h in zero_testbed.hosts]
+    udps = [UdpStack(h, ip) for h, ip in zip(zero_testbed.hosts, ips)]
+    # host1 runs one server socket; host0 runs two client sockets.
+    server = RudpSocket(udps[1].socket(6000))
+    c1 = RudpSocket(udps[0].socket(7001))
+    c2 = RudpSocket(udps[0].socket(7002))
+    got = []
+    server.on_message = lambda d, src: got.append((d, src[1]))
+    c1.sendto(b"a", (1, 6000))
+    c2.sendto(b"b", (1, 6000))
+    c1.sendto(b"c", (1, 6000))
+    zero_testbed.sim.run(until=1 * SEC)
+    assert sorted(got) == [(b"a", 7001), (b"b", 7002), (b"c", 7001)]
+
+
+def test_window_validation():
+    with pytest.raises(RudpError):
+        RudpSocket.__new__(RudpSocket).__init__(None, window_msgs=0)
