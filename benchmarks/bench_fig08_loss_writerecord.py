@@ -66,3 +66,42 @@ def test_fig08_vs_fig07_contrast(benchmark):
           f"Write-Record {out['ud_write_record']:.1f} MB/s")
     save_results("fig08_contrast", out)
     assert out["ud_write_record"] > 10 * max(out["ud_sendrecv"], 1)
+
+
+def test_fig08_rd_write_record_reliability_stats(benchmark):
+    """Reliable Write-Record under loss: full delivery (no partial
+    messages survive to the application) plus the LLP repair counters
+    behind it, recorded per loss rate."""
+
+    def run():
+        out = {}
+        for rate in (0.01, 0.05):
+            pair = VerbsEndpointPair.build(
+                "rd_write_record", loss=BernoulliLoss(rate, seed=11)
+            )
+            bw = pair.bandwidth_mbs(262144, messages=30, window=8)
+            out[f"{rate:.0%}"] = {
+                "mbs": round(bw["mbs"], 1),
+                "received_msgs": bw["received_msgs"],
+                "partial_msgs": bw["partial_msgs"],
+                **pair.qps[0].rd.stats(),
+            }
+        return out
+
+    out = run_once(benchmark, run)
+    rows = [
+        [rate, d["mbs"], d["received_msgs"], d["partial_msgs"],
+         d["retransmissions"], d["fast_retransmits"], d["backoff_events"]]
+        for rate, d in out.items()
+    ]
+    print_table(
+        "Fig. 8 RD Write-Record under loss (256 KB messages)",
+        ["loss", "MB/s", "complete", "partial", "rtx", "fast_rtx", "backoffs"],
+        rows,
+    )
+    save_results("fig08_rd_writerecord_reliability", out)
+
+    for d in out.values():
+        assert d["received_msgs"] == 30  # reliability: every message whole
+        assert d["partial_msgs"] == 0
+        assert d["retransmissions"] >= 1  # loss really was repaired

@@ -8,7 +8,6 @@ to ``results/<figure>.json`` for EXPERIMENTS.md.
 """
 
 import json
-import os
 from pathlib import Path
 
 import pytest

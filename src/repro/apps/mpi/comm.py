@@ -25,19 +25,15 @@ the returned futures (``data = yield comm.recv(src, tag)``).
 
 from __future__ import annotations
 
-import itertools
 import struct
 from collections import deque
-from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+from typing import Any, Callable, Deque, Dict, Optional, Tuple
 
-from ...core.verbs import (
-    CompletionQueue, RecvWR, RnicDevice, SendWR, Sge, WcStatus, WorkCompletion,
-    WrOpcode,
-)
+from ...core.verbs import CompletionQueue, RecvWR, RnicDevice, SendWR, Sge, WorkCompletion, WrOpcode
 from ...memory.region import Access
 from ...simnet.engine import Future, MS, Simulator
 from ...simnet.topology import Testbed, build_testbed
-from ...transport.stacks import NetStack, install_stacks
+from ...transport.stacks import install_stacks
 
 ANY_SOURCE = -1
 ANY_TAG = -1
@@ -84,7 +80,6 @@ class Communicator:
         # Rendezvous state.
         self._pending_rts: Deque[Tuple[int, int, int]] = deque()  # src, tag, length
         self._rendezvous_sinks: Dict[Tuple[int, int], dict] = {}
-        self._send_count = itertools.count(1)
         self._drain_arm()
 
     @property
@@ -167,7 +162,6 @@ class Communicator:
             self._post_send_bytes(payload, dest)
             return
         # Rendezvous: announce, stash the payload until CTS.
-        key = (dest, tag, next(self._send_count))
         self.world._rendezvous_payloads[(self.rank, dest, tag)] = data
         self._post_send_bytes(
             _HDR.pack(_KIND_RTS, self.rank, tag, len(data)), dest

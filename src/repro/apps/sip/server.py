@@ -22,7 +22,7 @@ from ...memory.accounting import FootprintModel, MemoryMeter
 from ...simnet.engine import MS, Simulator
 from ...core.socketif.interface import SOCK_DGRAM, SOCK_STREAM
 from . import messages
-from .messages import SipMessage, SipParseError
+from .messages import SipParseError
 
 Address = Tuple[int, int]
 

@@ -19,7 +19,7 @@ from ...transport.stacks import install_stacks
 from ...core.verbs.device import RnicDevice
 from ...core.socketif.interface import IwSocketInterface
 from .client import SipClient
-from .server import SipAppConfig, SipServer
+from .server import SipServer
 
 SIP_PORT = 5060
 

@@ -16,7 +16,6 @@ from __future__ import annotations
 import sys
 from typing import Dict
 
-from ..simnet.loss import BernoulliLoss
 from .harness import VerbsEndpointPair
 from .report import ComparisonReport
 

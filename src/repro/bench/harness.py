@@ -21,7 +21,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from ..core.socketif.native import NativeSocketApi
 from ..core.verbs import (
     CompletionQueue, RecvWR, RnicDevice, SendWR, Sge, WcStatus, WorkCompletion,
     WrOpcode,
@@ -29,10 +28,10 @@ from ..core.verbs import (
 from ..memory.region import Access
 from ..models.costs import CostModel
 from ..models.platform import Platform
-from ..simnet.engine import MS, SEC, US, Simulator
+from ..simnet.engine import MS, SEC, Simulator
 from ..simnet.loss import BernoulliLoss, LossModel
 from ..simnet.topology import Testbed, build_testbed
-from ..transport.stacks import NetStack, install_stacks
+from ..transport.stacks import install_stacks
 
 MODES = ("ud_sendrecv", "ud_write_record", "rc_sendrecv", "rc_rdma_write",
          "rd_sendrecv", "rd_write_record", "rcsctp_sendrecv")
@@ -74,6 +73,7 @@ class VerbsEndpointPair:
         loss: Optional[LossModel] = None,
         loss_on_host: int = 0,
         markers: bool = True,
+        rd_opts: Optional[dict] = None,
     ) -> "VerbsEndpointPair":
         if mode not in MODES:
             raise BenchError(f"unknown mode {mode!r} (want one of {MODES})")
@@ -89,7 +89,10 @@ class VerbsEndpointPair:
         if mode.startswith(("ud", "rd")):
             reliable = mode.startswith("rd")
             pair.qps = [
-                devices[i].create_ud_qp(pds[i], cqs[i], port=9000 + i, reliable=reliable)
+                devices[i].create_ud_qp(
+                    pds[i], cqs[i], port=9000 + i, reliable=reliable,
+                    rd_opts=rd_opts if reliable else None,
+                )
                 for i in (0, 1)
             ]
         else:

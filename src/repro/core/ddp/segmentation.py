@@ -15,7 +15,7 @@ in order); UD uses its full generality (any order, any subset).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Tuple
+from typing import List
 
 from ...memory.sge import scatter
 from ...memory.validity import ValidityMap

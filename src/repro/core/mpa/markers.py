@@ -20,7 +20,7 @@ marker-cost ablation run against genuine framing.
 from __future__ import annotations
 
 import struct
-from typing import List, Tuple
+from typing import Tuple
 
 MARKER_SIZE = 4
 MARKER_SPACING = 512

@@ -35,39 +35,15 @@ paper specifies about operation semantics lives here:
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from ...memory.region import Access, MemoryAccessError
 from ...memory.validity import ValidityMap
 from ...simnet.engine import MS
-from ..ddp.headers import (
-    DdpSegment,
-    HeaderError,
-    OP_READ_REQUEST,
-    OP_READ_RESPONSE,
-    OP_SEND,
-    OP_SEND_SE,
-    OP_TERMINATE,
-    OP_WRITE,
-    OP_WRITE_RECORD,
-    QN_READ_REQUEST,
-    QN_SEND,
-    QN_TERMINATE,
-    decode_read_request,
-    decode_segment,
-    encode_read_request,
-)
+from ..ddp.headers import DdpSegment, HeaderError, OP_READ_REQUEST, OP_READ_RESPONSE, OP_SEND, OP_SEND_SE, OP_TERMINATE, OP_WRITE, OP_WRITE_RECORD, QN_READ_REQUEST, QN_SEND, QN_TERMINATE, decode_read_request, encode_read_request
 from ..ddp.segmentation import ReassemblyError, UntaggedReassembly, plan_segments
-from ..verbs.wr import (
-    Address,
-    RecvWR,
-    SendWR,
-    WcStatus,
-    WorkCompletion,
-    WrOpcode,
-    gather,
-)
+from ..verbs.wr import Address, SendWR, WcStatus, WorkCompletion, WrOpcode, gather
 
 #: How long UD reassembly / write-record state lives without completing
 #: before it is reaped (the application-visible effect is a missing or
@@ -164,25 +140,11 @@ class RdmapTx:
             )
         # The source "completes the operation at the moment that the last
         # bit of the message is passed to the transport layer" (§IV.B.3):
-        # the segment emissions above are queued on this host CPU, so a
-        # final queued completion lands right after the LLP handoff.
-        self._complete_send(wr, len(payload), msg_id)
-
-    def _complete_send(self, wr: SendWR, byte_len: int, msg_id: Optional[int]) -> None:
-        if not wr.signaled:
-            return
-        host = self.qp.host
-        host.cpu.submit(
-            host.costs.cqe_ns,
-            self.qp.sq_cq.push,
-            WorkCompletion(
-                wr_id=wr.wr_id,
-                opcode=wr.opcode,
-                status=WcStatus.SUCCESS,
-                byte_len=byte_len,
-                msg_id=msg_id,
-            ),
-        )
+        # the segment emissions above are queued on this host CPU, so the
+        # default hook lands a completion right after the LLP handoff.
+        # Reliable-datagram QPs override the hook to defer the completion
+        # until the RD layer acknowledges (or fails) every segment.
+        self.qp.sent_to_llp(wr, len(payload), msg_id, len(specs))
 
     def _start_read(self, wr: SendWR) -> None:
         if len(wr.sges) != 1:

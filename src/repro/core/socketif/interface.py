@@ -28,7 +28,7 @@ from __future__ import annotations
 import itertools
 import struct
 from collections import deque
-from typing import Callable, Deque, Dict, Optional, Tuple
+from typing import Deque, Dict, Optional, Tuple
 
 from ...memory.region import Access
 from ...simnet.engine import MS, Future
@@ -90,7 +90,6 @@ class _DgramSocket:
         self._drain_arm()
 
     def _handle_wc(self, wc: WorkCompletion) -> None:
-        iface = self.iface
         if wc.opcode is WrOpcode.RDMA_WRITE_RECORD:
             if not wc.ok:
                 return

@@ -86,10 +86,17 @@ class RnicDevice:
         rq_cq: Optional[CompletionQueue] = None,
         port: Optional[int] = None,
         reliable: bool = False,
+        rd_opts: Optional[dict] = None,
     ) -> UdQp:
         """The new datagram-QP initialization verb.  Ready immediately —
-        no connection setup, no wire traffic."""
-        return UdQp(self, pd, sq_cq, rq_cq or sq_cq, port=port, reliable=reliable)
+        no connection setup, no wire traffic.  ``rd_opts`` (RD mode only)
+        passes reliability knobs through to the underlying
+        :class:`~repro.transport.rudp.RudpSocket` (window, RTO bounds,
+        ``adaptive``, SACK, retry budget...)."""
+        return UdQp(
+            self, pd, sq_cq, rq_cq or sq_cq, port=port, reliable=reliable,
+            rd_opts=rd_opts,
+        )
 
     # -- connected QPs ---------------------------------------------------------------
 

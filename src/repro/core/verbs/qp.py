@@ -17,12 +17,14 @@ from __future__ import annotations
 
 import itertools
 from collections import deque
-from typing import Deque, Optional
+from dataclasses import dataclass
+from typing import Deque, Dict, Optional
 
 from ...memory.region import Access
 from ...simnet.engine import Future
-from ...transport.rudp import RudpSocket
-from ...transport.udp import UDP_MAX_PAYLOAD, UdpSocket
+from ...transport.ip import IP_HEADER
+from ...transport.rudp import RUDP_HEADER, RudpSocket
+from ...transport.udp import UDP_HEADER, UDP_MAX_PAYLOAD
 from ..ddp.headers import (
     CTRL_SIZE, OP_TERMINATE, TAGGED_SIZE, UDEXT_SIZE, UNTAGGED_SIZE,
     HeaderError, decode_segment,
@@ -43,6 +45,16 @@ ERROR = "ERROR"
 MAX_HEADER = CTRL_SIZE + max(TAGGED_SIZE, UNTAGGED_SIZE) + UDEXT_SIZE
 
 _qp_nums = itertools.count(1)
+
+
+@dataclass
+class _RdPendingSend:
+    """A message posted on a reliable-datagram QP whose completion is
+    deferred until the RD layer ACKs (or fails) all of its segments."""
+
+    wr: SendWR
+    byte_len: int
+    remaining: int
 
 
 class QpError(Exception):
@@ -101,6 +113,29 @@ class QueuePair:
 
     def push_rq_completion(self, wc: WorkCompletion) -> None:
         self.host.cpu.submit(self.host.costs.cqe_ns, self.rq_cq.push, wc)
+
+    def push_sq_completion(self, wc: WorkCompletion) -> None:
+        self.host.cpu.submit(self.host.costs.cqe_ns, self.sq_cq.push, wc)
+
+    def sent_to_llp(
+        self, wr: SendWR, byte_len: int, msg_id: Optional[int], nsegs: int
+    ) -> None:
+        """All of a message's segments were handed to the LLP.  Default
+        contract (§IV.B.3): the source completes the operation "at the
+        moment that the last bit of the message is passed to the
+        transport layer".  Reliable-datagram QPs override this to defer
+        the completion until the RD layer ACKs (or fails) the message."""
+        if not wr.signaled:
+            return
+        self.push_sq_completion(
+            WorkCompletion(
+                wr_id=wr.wr_id,
+                opcode=wr.opcode,
+                status=WcStatus.SUCCESS,
+                byte_len=byte_len,
+                msg_id=msg_id,
+            )
+        )
 
     def channel_send(
         self, seg, dest: Optional[Address], first: bool = True, msg_len: int = 0
@@ -167,24 +202,42 @@ class UdQp(QueuePair):
         rq_cq: CompletionQueue,
         port: Optional[int] = None,
         reliable: bool = False,
+        rd_opts: Optional[dict] = None,
     ):
         super().__init__(device, pd, sq_cq, rq_cq)
         self.reliable = reliable
         udp_sock = device.net.udp.socket(port)
         if reliable:
-            self.rd = RudpSocket(udp_sock)
+            self.rd = RudpSocket(udp_sock, **(rd_opts or {}))
             self.rd.on_message = self._on_datagram
+            self.rd.on_peer_failed = self._on_rd_peer_failed
             self._sock = self.rd
-            overhead = MAX_HEADER + CRC_SIZE + 9  # + RUDP header
+            overhead = MAX_HEADER + CRC_SIZE + RUDP_HEADER
+            # RD segments are retransmission units: keep each inside one
+            # MTU.  A 64 KB datagram spans ~45 IP fragments, and losing
+            # ANY fragment loses the datagram — at 5 % frame loss that
+            # is a ~91 % datagram loss rate, which both cripples goodput
+            # and can push a healthy peer past the retry cap.  (UD mode
+            # keeps 64 KB datagrams: partial placement wants the big
+            # segments, and there is nothing to retransmit.)
+            mtu_budget = (
+                device.net.ip.mtu() - IP_HEADER - UDP_HEADER - overhead
+            )
+            self._max_seg = min(UDP_MAX_PAYLOAD - overhead, mtu_budget)
         else:
             self.rd = None
             udp_sock.on_datagram = self._on_datagram
             self._sock = udp_sock
             overhead = MAX_HEADER + CRC_SIZE
+            self._max_seg = UDP_MAX_PAYLOAD - overhead
         self._udp_sock = udp_sock
-        self._max_seg = UDP_MAX_PAYLOAD - overhead
+        # RD: messages posted but not yet ACKed by the reliability layer,
+        # keyed by RDMAP message id; peers declared unreachable.
+        self._rd_pending: Dict[int, _RdPendingSend] = {}
+        self.failed_peers = set()
         self.crc_drops = 0
         self.drops_closed = 0
+        self.rd_flushed_wrs = 0
         self.state = RTS
         self.ready.set_result(self)
 
@@ -229,14 +282,84 @@ class UdQp(QueuePair):
     def _emit(self, seg, dest: Address) -> None:
         if self._udp_sock.closed:
             # The application closed the socket with emissions still
-            # queued in the stack: datagram semantics, the data is gone.
+            # queued in the stack: datagram semantics, the data is gone —
+            # but on RD a tracked message must flush, never vanish.
             self.drops_closed += 1
+            if self.reliable and seg.msg_id is not None:
+                self._on_rd_segment_result(seg.msg_id, False)
             return
         data = append_crc(seg.encode())
         if self.reliable:
-            self._sock.sendto(data, dest)
+            if seg.msg_id is not None and seg.msg_id in self._rd_pending:
+                self.rd.sendto(
+                    data, dest,
+                    on_result=lambda ok, m=seg.msg_id: self._on_rd_segment_result(m, ok),
+                )
+            else:
+                self.rd.sendto(data, dest)
         else:
             self._udp_sock.sendto_uncharged(data, dest)
+
+    # -- RD reliability plumbing ------------------------------------------
+
+    def sent_to_llp(
+        self, wr: SendWR, byte_len: int, msg_id: Optional[int], nsegs: int
+    ) -> None:
+        """On RD the LLP-handoff contract is not honest enough: the
+        message may still die in the retransmission machinery.  Hold the
+        WR until every segment is cumulatively ACKed (SUCCESS) or the
+        peer is declared unreachable (FLUSH_ERR)."""
+        if not self.reliable or msg_id is None:
+            super().sent_to_llp(wr, byte_len, msg_id, nsegs)
+            return
+        self._rd_pending[msg_id] = _RdPendingSend(wr, byte_len, nsegs)
+
+    def _on_rd_segment_result(self, msg_id: int, ok: bool) -> None:
+        pend = self._rd_pending.get(msg_id)
+        if pend is None:
+            return
+        if not ok:
+            del self._rd_pending[msg_id]
+            self.rd_flushed_wrs += 1
+            if pend.wr.signaled:
+                self.push_sq_completion(
+                    WorkCompletion(
+                        wr_id=pend.wr.wr_id,
+                        opcode=pend.wr.opcode,
+                        status=WcStatus.FLUSHED,
+                        byte_len=pend.byte_len,
+                        msg_id=msg_id,
+                    )
+                )
+            return
+        pend.remaining -= 1
+        if pend.remaining <= 0:
+            del self._rd_pending[msg_id]
+            if pend.wr.signaled:
+                self.push_sq_completion(
+                    WorkCompletion(
+                        wr_id=pend.wr.wr_id,
+                        opcode=pend.wr.opcode,
+                        status=WcStatus.SUCCESS,
+                        byte_len=pend.byte_len,
+                        msg_id=msg_id,
+                    )
+                )
+
+    def _on_rd_peer_failed(self, addr: Address) -> None:
+        """§IV.B item 2, "report, don't kill": the failure is surfaced —
+        the peer is recorded, its queued WRs flush with FLUSH_ERR through
+        their per-message callbacks (the RD layer fires those before this
+        notification) — but the QP stays in RTS for every other peer."""
+        self.failed_peers.add(addr)
+        self.terminate_reason = f"RD peer {addr} unreachable"
+
+    def _validate_send(self, wr: SendWR) -> None:
+        super()._validate_send(wr)
+        if self.reliable and wr.dest in self.failed_peers:
+            raise QpError(
+                f"RD peer {wr.dest} was declared unreachable; its WRs were flushed"
+            )
 
     # -- receive ------------------------------------------------------------
 

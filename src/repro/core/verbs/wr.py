@@ -18,7 +18,6 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import List, Optional, Tuple
 
-from ...memory.region import MemoryRegion
 from ...memory.sge import Sge, gather, scatter, sge_total  # noqa: F401 (public API)
 from ...memory.validity import ValidityMap
 

@@ -186,12 +186,6 @@ def default_cost_model() -> CostModel:
 def zero_cost_model() -> CostModel:
     """All CPU costs zero — used by functional tests that only care about
     protocol correctness and want wire-time-only scheduling."""
-    fields = {
-        name: (0 if isinstance(getattr(CostModel, name, 0), int) else 0.0)
-        for name in CostModel.__dataclass_fields__
-    }
-    # dataclass defaults aren't accessible via getattr on the class for
-    # fields without class-level values; build explicitly instead.
     kwargs = {}
     for name, f in CostModel.__dataclass_fields__.items():
         kwargs[name] = 0 if f.type == "int" else 0.0

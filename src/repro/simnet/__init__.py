@@ -9,6 +9,10 @@ links.
 
 from .cpu import CpuResource
 from .engine import MS, NS, SEC, US, AnyOf, Event, Future, Process, SimulationError, Simulator, Timeout
+from .faults import (
+    DelayJitter, Duplicate, FaultModel, FaultPipeline, LinkFlap, LossFault,
+    Reorder, seeded_chaos,
+)
 from .host import Host
 from .link import Link
 from .loss import BernoulliLoss, BitErrorModel, ExplicitLoss, GilbertElliottLoss, LossModel, NoLoss, PatternLoss
@@ -19,10 +23,14 @@ from .topology import Testbed, build_testbed
 from .trace import TraceRecord, Tracer
 
 __all__ = [
-    "AnyOf", "BROADCAST", "BernoulliLoss", "BitErrorModel", "CpuResource", "ETH_MTU",
-    "ETH_OVERHEAD", "Event", "ExplicitLoss", "Frame", "Future",
-    "GilbertElliottLoss", "Host", "Link", "LossModel", "MS", "NS",
-    "NicPort", "NoLoss", "PatternLoss", "Process", "SEC", "SimulationError",
+    "AnyOf", "BROADCAST", "BernoulliLoss", "BitErrorModel", "CpuResource",
+    "DelayJitter", "Duplicate", "ETH_MTU",
+    "ETH_OVERHEAD", "Event", "ExplicitLoss", "FaultModel", "FaultPipeline",
+    "Frame", "Future",
+    "GilbertElliottLoss", "Host", "Link", "LinkFlap", "LossFault",
+    "LossModel", "MS", "NS",
+    "NicPort", "NoLoss", "PatternLoss", "Process", "Reorder", "SEC",
+    "SimulationError",
     "Simulator", "Switch", "Testbed", "Timeout", "TraceRecord", "Tracer",
-    "US", "build_testbed", "cable", "serialization_ns",
+    "US", "build_testbed", "cable", "seeded_chaos", "serialization_ns",
 ]

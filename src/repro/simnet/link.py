@@ -9,7 +9,6 @@ on each end and the physical parameters.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from .packet import ETH_MTU
 

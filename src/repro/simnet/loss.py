@@ -8,30 +8,53 @@ dropped packet never consumes wire time, exactly like ``tc`` netem.
 
 All models draw from their own seeded :class:`random.Random` so loss
 patterns are reproducible and independent of any other randomness.
+
+Every :class:`LossModel` exposes the same two counters — ``seen`` (all
+frames offered) and ``dropped`` (frames the model discarded) — kept by
+the shared base class; subclasses only implement the per-frame decision
+in :meth:`LossModel._decide`.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Optional
 
 from .packet import Frame
 
 
 class LossModel:
-    """Base class: decides, per frame, whether the egress queue drops it."""
+    """Base class: decides, per frame, whether the egress queue drops it.
+
+    Maintains the uniform ``seen``/``dropped`` counters for every
+    subclass; the drop decision itself lives in :meth:`_decide`.  When
+    :meth:`_decide` runs, ``seen`` has already been incremented, so it
+    doubles as the 1-based index of the frame under consideration.
+    """
+
+    def __init__(self) -> None:
+        self.seen = 0
+        self.dropped = 0
 
     def should_drop(self, frame: Frame) -> bool:
+        self.seen += 1
+        if self._decide(frame):
+            self.dropped += 1
+            return True
+        return False
+
+    def _decide(self, frame: Frame) -> bool:
         raise NotImplementedError
 
     def reset(self) -> None:
         """Restore the model to its initial state (reseeding RNGs)."""
+        self.seen = 0
+        self.dropped = 0
 
 
 class NoLoss(LossModel):
     """Lossless egress (the default)."""
 
-    def should_drop(self, frame: Frame) -> bool:
+    def _decide(self, frame: Frame) -> bool:
         return False
 
 
@@ -40,25 +63,19 @@ class BernoulliLoss(LossModel):
     ``tc`` configuration implements (0.1 %, 0.5 %, 1 %, 5 % in Figs. 7–8)."""
 
     def __init__(self, rate: float, seed: int = 0):
+        super().__init__()
         if not 0.0 <= rate <= 1.0:
             raise ValueError(f"loss rate must be in [0, 1], got {rate}")
         self.rate = rate
         self.seed = seed
         self._rng = random.Random(seed)
-        self.dropped = 0
-        self.seen = 0
 
-    def should_drop(self, frame: Frame) -> bool:
-        self.seen += 1
-        if self.rate > 0.0 and self._rng.random() < self.rate:
-            self.dropped += 1
-            return True
-        return False
+    def _decide(self, frame: Frame) -> bool:
+        return self.rate > 0.0 and self._rng.random() < self.rate
 
     def reset(self) -> None:
+        super().reset()
         self._rng = random.Random(self.seed)
-        self.dropped = 0
-        self.seen = 0
 
 
 class GilbertElliottLoss(LossModel):
@@ -78,6 +95,7 @@ class GilbertElliottLoss(LossModel):
         loss_bad: float = 1.0,
         seed: int = 0,
     ):
+        super().__init__()
         for name, v in (
             ("p_gb", p_gb),
             ("p_bg", p_bg),
@@ -93,8 +111,6 @@ class GilbertElliottLoss(LossModel):
         self.seed = seed
         self._rng = random.Random(seed)
         self.bad = False
-        self.dropped = 0
-        self.seen = 0
 
     def average_loss_rate(self) -> float:
         """Stationary loss rate implied by the chain parameters."""
@@ -104,8 +120,7 @@ class GilbertElliottLoss(LossModel):
         pi_bad = self.p_gb / denom
         return pi_bad * self.loss_bad + (1 - pi_bad) * self.loss_good
 
-    def should_drop(self, frame: Frame) -> bool:
-        self.seen += 1
+    def _decide(self, frame: Frame) -> bool:
         if self.bad:
             if self._rng.random() < self.p_bg:
                 self.bad = False
@@ -113,43 +128,56 @@ class GilbertElliottLoss(LossModel):
             if self._rng.random() < self.p_gb:
                 self.bad = True
         rate = self.loss_bad if self.bad else self.loss_good
-        if rate > 0.0 and self._rng.random() < rate:
-            self.dropped += 1
-            return True
-        return False
+        return rate > 0.0 and self._rng.random() < rate
 
     def reset(self) -> None:
+        super().reset()
         self._rng = random.Random(self.seed)
         self.bad = False
-        self.dropped = 0
-        self.seen = 0
 
 
 class PatternLoss(LossModel):
-    """Deterministically drop every ``n``-th frame (counting from 1).
+    """Deterministically drop every ``n``-th frame after ``offset``
+    (frame indices count from 1: the first drop hits frame
+    ``offset + every_nth``).
 
     Used by tests that need exact, reproducible loss placement — e.g.
     "drop precisely the last segment of a Write-Record message".
     """
 
     def __init__(self, every_nth: int, offset: int = 0):
+        super().__init__()
         if every_nth < 1:
             raise ValueError(f"every_nth must be >= 1, got {every_nth}")
+        if offset < 0:
+            raise ValueError(f"offset must be >= 0, got {offset}")
         self.every_nth = every_nth
         self.offset = offset
-        self._count = 0
-        self.dropped = 0
 
-    def should_drop(self, frame: Frame) -> bool:
-        self._count += 1
-        if (self._count - self.offset) % self.every_nth == 0 and self._count > self.offset:
-            self.dropped += 1
-            return True
-        return False
+    def _decide(self, frame: Frame) -> bool:
+        # ``seen`` was just incremented by the base class, so it is this
+        # frame's 1-based index.
+        return (
+            self.seen > self.offset
+            and (self.seen - self.offset) % self.every_nth == 0
+        )
 
-    def reset(self) -> None:
-        self._count = 0
-        self.dropped = 0
+
+class ExplicitLoss(LossModel):
+    """Drop exactly the frames whose 1-based egress index is listed.
+
+    The sharpest tool for unit tests: "drop frames 3 and 7" is stated
+    directly instead of being reverse-engineered from probabilities.
+    """
+
+    def __init__(self, indices):
+        super().__init__()
+        self.indices = set(int(i) for i in indices)
+        if any(i < 1 for i in self.indices):
+            raise ValueError("frame indices are 1-based")
+
+    def _decide(self, frame: Frame) -> bool:
+        return self.seen in self.indices
 
 
 class BitErrorModel:
@@ -186,29 +214,3 @@ class BitErrorModel:
         self._rng = random.Random(self.seed ^ 0x5EED)
         self.corrupted = 0
         self.seen = 0
-
-
-class ExplicitLoss(LossModel):
-    """Drop exactly the frames whose 1-based egress index is listed.
-
-    The sharpest tool for unit tests: "drop frames 3 and 7" is stated
-    directly instead of being reverse-engineered from probabilities.
-    """
-
-    def __init__(self, indices):
-        self.indices = set(int(i) for i in indices)
-        if any(i < 1 for i in self.indices):
-            raise ValueError("frame indices are 1-based")
-        self._count = 0
-        self.dropped = 0
-
-    def should_drop(self, frame: Frame) -> bool:
-        self._count += 1
-        if self._count in self.indices:
-            self.dropped += 1
-            return True
-        return False
-
-    def reset(self) -> None:
-        self._count = 0
-        self.dropped = 0

@@ -20,12 +20,17 @@ stacks, which know what processing each frame actually needs.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Optional
+from typing import Deque, Optional
+
+from typing import TYPE_CHECKING
 
 from .engine import Simulator
 from .link import Link
 from .loss import LossModel, NoLoss
 from .packet import Frame, serialization_ns
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .faults import FaultModel
 
 
 class NicPort:
@@ -46,6 +51,7 @@ class NicPort:
         self.queue_frames = queue_frames
         self.link: Optional[Link] = None
         self.loss_model: LossModel = NoLoss()
+        self.fault_model: Optional["FaultModel"] = None
         self._queue: Deque[Frame] = deque()
         self._transmitting = False
         # Counters for tests and reports.
@@ -55,12 +61,19 @@ class NicPort:
         self.rx_bytes = 0
         self.drops_queue_full = 0
         self.drops_loss_model = 0
+        self.drops_fault = 0
+        self.dup_frames = 0
+        self.held_frames = 0
         self.tracer = None                     # optional repro.simnet.trace.Tracer
 
     # -- egress -----------------------------------------------------------
 
     def enqueue(self, frame: Frame) -> bool:
-        """Queue a frame for transmission.  Returns False if dropped."""
+        """Queue a frame for transmission.  Returns False if dropped.
+
+        A frame held back by the fault model (delay/reorder) counts as
+        accepted: it enters the FIFO when its hold time elapses.
+        """
         if self.link is None:
             raise RuntimeError(f"port {self.name!r} is not cabled to a link")
         if self.loss_model.should_drop(frame):
@@ -68,6 +81,28 @@ class NicPort:
             if self.tracer:
                 self.tracer.record("drop.loss", port=self.name, frame=frame)
             return False
+        if self.fault_model is None:
+            return self._admit(frame)
+        emissions = self.fault_model.admit(frame, self.sim.now)
+        if not emissions:
+            self.drops_fault += 1
+            if self.tracer:
+                self.tracer.record("drop.fault", port=self.name, frame=frame)
+            return False
+        if len(emissions) > 1:
+            self.dup_frames += len(emissions) - 1
+        accepted = False
+        for delay, out in emissions:
+            if delay <= 0:
+                accepted = self._admit(out) or accepted
+            else:
+                self.held_frames += 1
+                self.sim.schedule(delay, self._admit, out)
+                accepted = True
+        return accepted
+
+    def _admit(self, frame: Frame) -> bool:
+        """Append to the egress FIFO (drop-tail) and kick the transmitter."""
         if len(self._queue) >= self.queue_frames:
             self.drops_queue_full += 1
             if self.tracer:
@@ -110,6 +145,11 @@ class NicPort:
 
     def set_loss_model(self, model: LossModel) -> None:
         self.loss_model = model
+
+    def set_fault_model(self, model: Optional["FaultModel"]) -> None:
+        """Attach a composable fault model (reorder/dup/delay/flap) at
+        the same egress point as the loss model; None detaches."""
+        self.fault_model = model
 
     def queue_depth(self) -> int:
         return len(self._queue)

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any
 
 # Ethernet sizing.  ETH_OVERHEAD covers header (14) + FCS (4) + preamble/
 # SFD (8) + inter-frame gap (12), i.e. the full per-frame cost on the wire.

@@ -10,16 +10,17 @@ paper's ``tc`` configuration.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 from ..models.costs import CostModel, default_cost_model
 from ..models.platform import Platform
 from .engine import Simulator
+from .faults import FaultModel
 from .host import Host
 from .link import Link
 from .loss import LossModel
-from .nic import NicPort, cable
+from .nic import cable
 from .switch import Switch
 
 
@@ -47,6 +48,19 @@ class Testbed:
         if self.switch is None:
             raise RuntimeError("testbed has no switch")
         self.switch.ports[toward_host_index].set_loss_model(model)
+
+    def set_egress_faults(self, host_index: int, model: Optional[FaultModel]) -> None:
+        """Attach a composable fault model (reorder, duplication, delay
+        jitter, link flap — see :mod:`repro.simnet.faults`) at
+        ``hosts[host_index]``'s NIC egress, the same injection point as
+        :meth:`set_egress_loss`.  ``None`` detaches."""
+        self.hosts[host_index].port.set_fault_model(model)
+
+    def set_switch_faults(self, toward_host_index: int, model: Optional[FaultModel]) -> None:
+        """Attach a fault model on the switch port facing a host."""
+        if self.switch is None:
+            raise RuntimeError("testbed has no switch")
+        self.switch.ports[toward_host_index].set_fault_model(model)
 
 
 def build_testbed(

@@ -16,8 +16,8 @@ simulator avoids materializing per-fragment byte slices.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Tuple
 
 from ..simnet.engine import MS, Simulator
 from ..simnet.host import Host

@@ -6,8 +6,28 @@ UDP) for those applications that cannot deal with data loss" (§I), with
 RD LLPs expected to provide order and reliability guarantees (§IV.B
 item 3).  This module supplies that LLP: a message-oriented sliding
 window over UDP with cumulative ACKs, in-order delivery, and
-timeout-based retransmission — but none of TCP's stream semantics, so
-message boundaries survive and the MPA layer stays bypassed.
+retransmission — but none of TCP's stream semantics, so message
+boundaries survive and the MPA layer stays bypassed.
+
+Loss recovery is the part RDMA transports live or die by, so it is done
+properly rather than minimally:
+
+* **Adaptive RTO** — a per-peer RFC 6298 estimator
+  (:class:`~repro.transport.rto.RtoEstimator`) replaces any fixed
+  timeout; every ACK echoes the sequence number whose arrival produced
+  it, so RTT samples never fold in head-of-line stalls, Karn's rule is
+  applied (retransmitted sequence numbers never produce samples) and
+  expiries back off exponentially with a cap.
+* **Fast retransmit** — duplicate cumulative ACKs (the receiver acks
+  every arrival) resend the missing message after ``dup_ack_threshold``
+  duplicates, so a single drop costs roughly one RTT instead of an RTO.
+* **SACK ranges** — ACKs optionally carry up to ``sack_ranges``
+  ``(start, end)`` blocks describing out-of-order data already held, so
+  the sender never retransmits messages that arrived behind a hole.
+* **Failure surfacing** — per-message ``on_result`` callbacks report
+  delivery (cumulatively ACKed) or failure (peer declared dead, socket
+  closed), which the verbs layer turns into FLUSH_ERR completions
+  instead of silently dropping queued data.
 
 Headers are genuinely encoded into the datagram bytes (struct-packed),
 so tests exercise real parsing, and the 9-byte header participates in
@@ -18,35 +38,89 @@ from __future__ import annotations
 
 import struct
 from collections import deque
-from typing import Callable, Deque, Dict, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Optional, Set, Tuple
 
-from ..simnet.engine import MS, Future, Simulator
+from ..simnet.engine import MS, SEC, US, Future, Simulator
+from .rto import RtoEstimator
 from .udp import UDP_MAX_PAYLOAD, UdpSocket
 
 Address = Tuple[int, int]
 
 _HEADER = struct.Struct("!BQ")  # kind, sequence number
+_ACK_ECHO = struct.Struct("!Q")  # seq whose arrival triggered this ACK
+_SACK_RANGE = struct.Struct("!QQ")  # inclusive [start, end] sequence range
 KIND_DATA = 1
 KIND_ACK = 2
 
 RUDP_HEADER = _HEADER.size  # 9 bytes
 RUDP_MAX_PAYLOAD = UDP_MAX_PAYLOAD - RUDP_HEADER
 
+#: RD runs on a LAN fabric: the RTO floor is far below TCP's 200 ms
+#: (which would be ruinous next to microsecond RTTs) but still well
+#: above any observed RTT plus its variance.
+RD_MIN_RTO_NS = 200 * US
+RD_MAX_RTO_NS = 2 * SEC
+
+ResultCallback = Callable[[bool], None]
+
 
 class RudpError(Exception):
     """Reliable-UDP usage errors."""
 
 
+@dataclass
+class PeerStats:
+    """Per-peer reliability counters (exposed for benchmarks/tests)."""
+
+    retransmissions: int = 0
+    fast_retransmits: int = 0
+    timeouts: int = 0
+    backoff_events: int = 0
+    rto_samples: int = 0
+    sack_blocks: int = 0
+    #: Snapshot of the estimator when the peer was last observed.
+    srtt_ns: float = 0.0
+    rto_ns: int = 0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "retransmissions": self.retransmissions,
+            "fast_retransmits": self.fast_retransmits,
+            "timeouts": self.timeouts,
+            "backoff_events": self.backoff_events,
+            "rto_samples": self.rto_samples,
+            "sack_blocks": self.sack_blocks,
+            "srtt_ns": self.srtt_ns,
+            "rto_ns": self.rto_ns,
+        }
+
+
 class _PeerTx:
     """Sender-side state toward one peer."""
 
-    __slots__ = ("next_seq", "unacked", "queue", "timer")
+    __slots__ = (
+        "next_seq", "unacked", "queue", "timer", "sent_at", "rtx", "sacked",
+        "retries", "cbs", "estimator", "ack_floor", "dup_acks",
+        "fast_rtx_armed", "recover", "stats",
+    )
 
-    def __init__(self) -> None:
+    def __init__(self, estimator: RtoEstimator) -> None:
         self.next_seq = 1
         self.unacked: Dict[int, bytes] = {}
-        self.queue: Deque[bytes] = deque()
+        self.queue: Deque[Tuple[bytes, Optional[ResultCallback]]] = deque()
         self.timer = None
+        self.sent_at: Dict[int, int] = {}       # first-transmission time
+        self.rtx: Set[int] = set()              # retransmitted (Karn: no samples)
+        self.sacked: Set[int] = set()           # held by the peer beyond a hole
+        self.retries: Dict[int, int] = {}
+        self.cbs: Dict[int, Optional[ResultCallback]] = {}
+        self.estimator = estimator
+        self.ack_floor = 1                      # highest cumulative ACK seen
+        self.dup_acks = 0
+        self.fast_rtx_armed = True              # one fast rtx per loss event
+        self.recover = 0                        # NewReno recovery horizon
+        self.stats = PeerStats()
 
 
 class _PeerRx:
@@ -64,6 +138,12 @@ class RudpSocket:
 
     One RudpSocket can converse with many peers (per-peer sequence
     spaces), matching how a datagram QP serves many remote endpoints.
+
+    ``rto_ns`` seeds the per-peer estimator (it is the timeout used
+    before the first RTT sample lands).  With ``adaptive=False`` the
+    socket degrades to the original fixed-RTO design — no estimator, no
+    backoff, no fast retransmit, no SACK — kept as the baseline the
+    robustness benchmarks compare against.
     """
 
     def __init__(
@@ -72,6 +152,11 @@ class RudpSocket:
         window_msgs: int = 64,
         rto_ns: int = 5 * MS,
         max_retries: int = 20,
+        adaptive: bool = True,
+        min_rto_ns: int = RD_MIN_RTO_NS,
+        max_rto_ns: int = RD_MAX_RTO_NS,
+        sack_ranges: int = 3,
+        dup_ack_threshold: int = 3,
     ):
         if window_msgs < 1:
             raise RudpError("window must be at least 1 message")
@@ -80,47 +165,90 @@ class RudpSocket:
         self.window_msgs = window_msgs
         self.rto_ns = rto_ns
         self.max_retries = max_retries
+        self.adaptive = adaptive
+        self.min_rto_ns = min(min_rto_ns, rto_ns)
+        self.max_rto_ns = max(max_rto_ns, rto_ns)
+        self.sack_ranges = sack_ranges if adaptive else 0
+        self.dup_ack_threshold = dup_ack_threshold if adaptive else 0
+        self.closed = False
         self._tx: Dict[Address, _PeerTx] = {}
         self._rx: Dict[Address, _PeerRx] = {}
-        self._retries: Dict[Tuple[Address, int], int] = {}
         self.on_message: Optional[Callable[[bytes, Address], None]] = None
         self.on_peer_failed: Optional[Callable[[Address], None]] = None
         self._queue: Deque[Tuple[bytes, Address]] = deque()
         self._waiters: Deque[Future] = deque()
         udp.on_datagram = self._on_datagram
-        # Statistics.
+        # Statistics (aggregate across peers; per-peer via peer_stats()).
         self.retransmissions = 0
+        self.fast_retransmits = 0
+        self.timeouts = 0
+        self.backoff_events = 0
+        self.rto_samples = 0
+        self.sack_blocks_received = 0
         self.duplicates_dropped = 0
         self.acks_sent = 0
+        self.peer_failures = 0
+        self.messages_failed = 0
 
     @property
     def port(self) -> int:
         return self.udp.port
 
+    def _new_estimator(self) -> RtoEstimator:
+        return RtoEstimator(
+            initial_rto_ns=self.rto_ns,
+            min_rto_ns=self.min_rto_ns,
+            max_rto_ns=self.max_rto_ns,
+        )
+
     # -- send ------------------------------------------------------------
 
-    def sendto(self, data: bytes, addr: Address) -> None:
-        """Reliably send one message (delivered exactly once, in order)."""
+    def sendto(
+        self,
+        data: bytes,
+        addr: Address,
+        on_result: Optional[ResultCallback] = None,
+    ) -> None:
+        """Reliably send one message (delivered exactly once, in order).
+
+        ``on_result`` (optional) fires exactly once: ``True`` when the
+        message is cumulatively acknowledged, ``False`` if the peer is
+        declared unreachable or the socket closes first.
+        """
+        if self.closed:
+            raise RudpError("socket is closed")
         if len(data) > RUDP_MAX_PAYLOAD:
             raise RudpError(
                 f"{len(data)} bytes exceeds RUDP maximum {RUDP_MAX_PAYLOAD}"
             )
-        tx = self._tx.setdefault(addr, _PeerTx())
-        tx.queue.append(bytes(data))
+        tx = self._tx.get(addr)
+        if tx is None:
+            tx = self._tx.setdefault(addr, _PeerTx(self._new_estimator()))
+        tx.queue.append((bytes(data), on_result))
         self._pump(addr, tx)
 
     def _pump(self, addr: Address, tx: _PeerTx) -> None:
         while tx.queue and len(tx.unacked) < self.window_msgs:
-            data = tx.queue.popleft()
+            data, cb = tx.queue.popleft()
             seq = tx.next_seq
             tx.next_seq += 1
             tx.unacked[seq] = data
+            tx.cbs[seq] = cb
+            tx.sent_at[seq] = self.sim.now
             self._emit(addr, seq, data)
         if tx.unacked and tx.timer is None:
-            tx.timer = self.sim.schedule(self.rto_ns, self._on_timeout, addr)
+            self._arm_timer(addr, tx)
 
     def _emit(self, addr: Address, seq: int, data: bytes) -> None:
         self.udp.sendto(_HEADER.pack(KIND_DATA, seq) + data, addr)
+
+    def _current_rto(self, tx: _PeerTx) -> int:
+        return tx.estimator.rto_ns if self.adaptive else self.rto_ns
+
+    def _arm_timer(self, addr: Address, tx: _PeerTx) -> None:
+        if tx.timer is not None:
+            tx.timer.cancel()
+        tx.timer = self.sim.schedule(self._current_rto(tx), self._on_timeout, addr)
 
     def _on_timeout(self, addr: Address) -> None:
         tx = self._tx.get(addr)
@@ -129,20 +257,56 @@ class RudpSocket:
         tx.timer = None
         if not tx.unacked:
             return
-        seq = min(tx.unacked)
-        key = (addr, seq)
-        retries = self._retries.get(key, 0) + 1
+        # Retransmit the earliest message the peer has not SACKed; fall
+        # back to the overall earliest (an all-SACKed window means the
+        # cumulative ACKs themselves were lost — provoke a fresh one).
+        unsacked = [s for s in tx.unacked if s not in tx.sacked]
+        seq = min(unsacked) if unsacked else min(tx.unacked)
+        retries = tx.retries.get(seq, 0) + 1
         if retries > self.max_retries:
-            # Peer unreachable: drop all state toward it and notify.
-            del self._tx[addr]
-            self._retries = {k: v for k, v in self._retries.items() if k[0] != addr}
-            if self.on_peer_failed is not None:
-                self.on_peer_failed(addr)
+            self._fail_peer(addr, tx)
             return
-        self._retries[key] = retries
+        tx.retries[seq] = retries
+        tx.rtx.add(seq)
+        tx.stats.timeouts += 1
+        self.timeouts += 1
+        if self.adaptive:
+            tx.estimator.on_timeout()
+            tx.stats.backoff_events += 1
+            self.backoff_events += 1
+        self._retransmit(addr, tx, seq)
+        self._arm_timer(addr, tx)
+
+    def _retransmit(self, addr: Address, tx: _PeerTx, seq: int) -> None:
+        tx.stats.retransmissions += 1
         self.retransmissions += 1
         self._emit(addr, seq, tx.unacked[seq])
-        tx.timer = self.sim.schedule(self.rto_ns, self._on_timeout, addr)
+
+    def _fail_peer(self, addr: Address, tx: _PeerTx) -> None:
+        """Peer unreachable: drop all state toward it and notify — every
+        queued or in-flight message is reported failed, never silently
+        discarded."""
+        if tx.timer is not None:
+            tx.timer.cancel()
+            tx.timer = None
+        del self._tx[addr]
+        self.peer_failures += 1
+        callbacks: List[ResultCallback] = []
+        for seq in sorted(tx.unacked):
+            cb = tx.cbs.get(seq)
+            if cb is not None:
+                callbacks.append(cb)
+        for _, cb in tx.queue:
+            if cb is not None:
+                callbacks.append(cb)
+        self.messages_failed += len(tx.unacked) + len(tx.queue)
+        tx.unacked.clear()
+        tx.queue.clear()
+        tx.cbs.clear()
+        for cb in callbacks:
+            cb(False)
+        if self.on_peer_failed is not None:
+            self.on_peer_failed(addr)
 
     # -- receive -------------------------------------------------------------
 
@@ -151,26 +315,139 @@ class RudpSocket:
             return
         kind, seq = _HEADER.unpack_from(data)
         if kind == KIND_ACK:
-            self._on_ack(seq, src)
+            self._on_ack(seq, data[RUDP_HEADER:], src)
         elif kind == KIND_DATA:
             self._on_data(seq, data[RUDP_HEADER:], src)
 
-    def _on_ack(self, ack_seq: int, src: Address) -> None:
-        """Cumulative: acknowledges every sequence number < ack_seq."""
+    def _parse_ack_payload(
+        self, payload: bytes
+    ) -> Tuple[int, List[Tuple[int, int]]]:
+        """ACK payload: the echo seq (whose arrival triggered this ACK),
+        then optional SACK ranges (count byte + inclusive pairs)."""
+        if len(payload) < _ACK_ECHO.size:
+            return 0, []
+        (echo,) = _ACK_ECHO.unpack_from(payload)
+        payload = payload[_ACK_ECHO.size:]
+        if not payload:
+            return echo, []
+        count = payload[0]
+        ranges = []
+        offset = 1
+        for _ in range(count):
+            if offset + _SACK_RANGE.size > len(payload):
+                break  # truncated: use what parsed cleanly
+            start, end = _SACK_RANGE.unpack_from(payload, offset)
+            offset += _SACK_RANGE.size
+            if start <= end:
+                ranges.append((start, end))
+        return echo, ranges
+
+    def _on_ack(self, ack_seq: int, payload: bytes, src: Address) -> None:
+        """Cumulative: acknowledges every sequence number < ack_seq.
+        The payload carries the triggering seq (the RTT echo) plus SACK
+        ranges for out-of-order data the peer is already holding."""
         tx = self._tx.get(src)
         if tx is None:
             return
-        for seq in [s for s in tx.unacked if s < ack_seq]:
+        echo, sacks = self._parse_ack_payload(payload)
+        # RTT sampling uses ONLY the echo: the receiver says exactly
+        # which segment's arrival produced this ACK, so the sample never
+        # includes reordering stalls — and Karn's rule (no samples from
+        # retransmitted seqs) still applies.  Anything subtler (sampling
+        # on cumulative advance or on SACK receipt) turns out to fold
+        # head-of-line waiting time into SRTT under sustained loss and
+        # drives the RTO toward its cap.
+        if (
+            self.adaptive
+            and echo in tx.sent_at
+            and echo not in tx.rtx
+        ):
+            tx.estimator.sample(self.sim.now - tx.sent_at[echo])
+            tx.stats.rto_samples += 1
+            self.rto_samples += 1
+        for start, end in sacks:
+            tx.stats.sack_blocks += 1
+            self.sack_blocks_received += 1
+            for seq in tx.unacked:
+                if start <= seq <= end:
+                    tx.sacked.add(seq)
+        newly_acked = sorted(s for s in tx.unacked if s < ack_seq)
+        if newly_acked:
+            self._on_ack_progress(src, tx, ack_seq, newly_acked)
+        elif ack_seq <= tx.ack_floor and tx.unacked:
+            self._on_dup_ack(src, tx, ack_seq)
+        self._pump(src, tx)
+
+    def _on_ack_progress(
+        self, src: Address, tx: _PeerTx, ack_seq: int, newly_acked: List[int]
+    ) -> None:
+        callbacks: List[ResultCallback] = []
+        for seq in newly_acked:
             del tx.unacked[seq]
-            self._retries.pop((src, seq), None)
+            tx.sent_at.pop(seq, None)
+            tx.retries.pop(seq, None)
+            tx.rtx.discard(seq)
+            tx.sacked.discard(seq)
+            cb = tx.cbs.pop(seq, None)
+            if cb is not None:
+                callbacks.append(cb)
+        tx.ack_floor = max(tx.ack_floor, ack_seq)
+        tx.dup_acks = 0
+        if ack_seq > tx.recover:
+            # Recovery (if any) is over: re-arm the fast-retransmit path.
+            tx.fast_rtx_armed = True
+        elif (
+            self.dup_ack_threshold > 0
+            and ack_seq in tx.unacked
+            and ack_seq not in tx.sacked
+        ):
+            # NewReno partial ack: progress inside the recovery window
+            # stopped at a fresh hole — one of the recovery
+            # retransmissions was itself lost.  Resend it immediately
+            # rather than waiting for a (backed-off) timeout.
+            tx.rtx.add(ack_seq)
+            self._retransmit(src, tx, ack_seq)
+        if self.adaptive:
+            tx.estimator.reset_backoff()
+        tx.stats.srtt_ns = tx.estimator.srtt
+        tx.stats.rto_ns = self._current_rto(tx)
         if tx.timer is not None:
             tx.timer.cancel()
             tx.timer = None
-        self._pump(src, tx)
+        if tx.unacked:
+            self._arm_timer(src, tx)
+        for cb in callbacks:
+            cb(True)
+
+    def _on_dup_ack(self, src: Address, tx: _PeerTx, ack_seq: int) -> None:
+        """The peer re-asserted its cumulative point: something after it
+        arrived while ``ack_seq`` is still missing."""
+        if self.dup_ack_threshold <= 0:
+            return
+        tx.dup_acks += 1
+        if not tx.fast_rtx_armed or tx.dup_acks < self.dup_ack_threshold:
+            return
+        missing = ack_seq
+        if missing not in tx.unacked or missing in tx.sacked:
+            return
+        tx.fast_rtx_armed = False  # once per loss event, like NewReno
+        tx.recover = tx.next_seq - 1  # recovery covers everything sent so far
+        tx.stats.fast_retransmits += 1
+        self.fast_retransmits += 1
+        # SACK-based recovery: resend every inferred hole — any unacked,
+        # unSACKed seq below something the peer does hold — in one RTT,
+        # not one hole per (backed-off) timeout.
+        horizon = max(tx.sacked, default=missing)
+        for seq in sorted(tx.unacked):
+            if seq > horizon or seq in tx.sacked:
+                continue
+            tx.rtx.add(seq)
+            self._retransmit(src, tx, seq)
+        self._arm_timer(src, tx)
 
     def _on_data(self, seq: int, payload: bytes, src: Address) -> None:
         rx = self._rx.setdefault(src, _PeerRx())
-        if seq < rx.rcv_nxt:
+        if seq < rx.rcv_nxt or seq in rx.ooo:
             self.duplicates_dropped += 1
         elif seq == rx.rcv_nxt:
             rx.rcv_nxt += 1
@@ -180,9 +457,38 @@ class RudpSocket:
                 rx.rcv_nxt += 1
         else:
             rx.ooo[seq] = payload
-        # Always ack with the cumulative in-order point.
+        # Always ack with the cumulative in-order point, echoing the
+        # seq that triggered this ACK (plus SACK ranges for whatever is
+        # parked out of order).
+        self._send_ack(rx, src, seq)
+
+    def _ooo_ranges(self, rx: _PeerRx) -> List[Tuple[int, int]]:
+        """First ``sack_ranges`` contiguous runs of out-of-order data."""
+        if not self.sack_ranges or not rx.ooo:
+            return []
+        seqs = sorted(rx.ooo)
+        ranges: List[Tuple[int, int]] = []
+        start = prev = seqs[0]
+        for s in seqs[1:]:
+            if s == prev + 1:
+                prev = s
+                continue
+            ranges.append((start, prev))
+            if len(ranges) >= self.sack_ranges:
+                return ranges
+            start = prev = s
+        ranges.append((start, prev))
+        return ranges[: self.sack_ranges]
+
+    def _send_ack(self, rx: _PeerRx, src: Address, trigger_seq: int) -> None:
+        ranges = self._ooo_ranges(rx)
+        payload = _ACK_ECHO.pack(trigger_seq)
+        if ranges:
+            payload += bytes([len(ranges)]) + b"".join(
+                _SACK_RANGE.pack(s, e) for s, e in ranges
+            )
         self.acks_sent += 1
-        self.udp.sendto(_HEADER.pack(KIND_ACK, rx.rcv_nxt), src)
+        self.udp.sendto(_HEADER.pack(KIND_ACK, rx.rcv_nxt) + payload, src)
 
     def _deliver(self, data: bytes, src: Address) -> None:
         if self.on_message is not None:
@@ -193,19 +499,85 @@ class RudpSocket:
             self._queue.append((data, src))
 
     def recv_future(self) -> Future:
+        """Future resolving to ``(data, src)`` — or ``None`` if the
+        socket closes before anything arrives."""
         fut = self.sim.future()
         if self._queue:
             fut.set_result(self._queue.popleft())
+        elif self.closed:
+            fut.set_result(None)
         else:
             self._waiters.append(fut)
         return fut
+
+    # -- introspection ----------------------------------------------------
 
     def unacked_messages(self, addr: Address) -> int:
         tx = self._tx.get(addr)
         return len(tx.unacked) if tx else 0
 
+    def current_rto_ns(self, addr: Address) -> int:
+        """The retransmission timeout currently in force toward a peer."""
+        tx = self._tx.get(addr)
+        return self._current_rto(tx) if tx else self.rto_ns
+
+    def peer_stats(self, addr: Address) -> Optional[PeerStats]:
+        tx = self._tx.get(addr)
+        if tx is None:
+            return None
+        tx.stats.srtt_ns = tx.estimator.srtt
+        tx.stats.rto_ns = self._current_rto(tx)
+        return tx.stats
+
+    def stats(self) -> Dict[str, int]:
+        """Aggregate reliability counters (all peers)."""
+        return {
+            "retransmissions": self.retransmissions,
+            "fast_retransmits": self.fast_retransmits,
+            "timeouts": self.timeouts,
+            "backoff_events": self.backoff_events,
+            "rto_samples": self.rto_samples,
+            "sack_blocks_received": self.sack_blocks_received,
+            "duplicates_dropped": self.duplicates_dropped,
+            "acks_sent": self.acks_sent,
+            "peer_failures": self.peer_failures,
+            "messages_failed": self.messages_failed,
+        }
+
+    # -- teardown ---------------------------------------------------------
+
     def close(self) -> None:
+        """Tear the endpoint down: cancel timers, fail every in-flight
+        and queued message, wake pending receivers (with ``None``), and
+        detach from the UDP socket before closing it."""
+        if self.closed:
+            return
+        self.closed = True
+        callbacks: List[ResultCallback] = []
         for tx in self._tx.values():
             if tx.timer is not None:
                 tx.timer.cancel()
+                tx.timer = None
+            for seq in sorted(tx.unacked):
+                cb = tx.cbs.get(seq)
+                if cb is not None:
+                    callbacks.append(cb)
+            for _, cb in tx.queue:
+                if cb is not None:
+                    callbacks.append(cb)
+            self.messages_failed += len(tx.unacked) + len(tx.queue)
+            tx.unacked.clear()
+            tx.queue.clear()
+            tx.cbs.clear()
+        self._tx.clear()
+        # Detach before failing callbacks: nothing may re-enter a closed
+        # socket through a stale UDP delivery path.
+        if self.udp.on_datagram == self._on_datagram:
+            self.udp.on_datagram = None
+        for cb in callbacks:
+            cb(False)
+        waiters, self._waiters = self._waiters, deque()
+        for fut in waiters:
+            if not fut.done:
+                fut.set_result(None)
         self.udp.close()

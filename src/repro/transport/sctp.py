@@ -30,11 +30,11 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
-from ..simnet.engine import Future, MS, Simulator
+from ..simnet.engine import Future, Simulator
 from ..simnet.host import Host
 from .ip import IpStack
 from .tcp.congestion import RenoCongestion
-from .tcp.rto import RtoEstimator
+from .rto import RtoEstimator
 
 Address = Tuple[int, int]
 

@@ -22,7 +22,7 @@ from typing import Callable, Dict, Optional, Tuple
 
 from ...simnet.engine import Future, Simulator
 from .congestion import RenoCongestion
-from .rto import RtoEstimator
+from ..rto import RtoEstimator
 from .segment import ACK, FIN, PSH, RST, SYN, TcpSegment
 
 # Connection states.

@@ -1,63 +1,6 @@
-"""Retransmission-timeout estimation (RFC 6298).
+"""Backwards-compatible re-export: the estimator moved to
+:mod:`repro.transport.rto` so the reliable-datagram LLP can share it."""
 
-SRTT/RTTVAR smoothing with Karn's rule applied by the caller (samples
-are only taken from segments that were never retransmitted) and
-exponential backoff on timeout.
-"""
+from ..rto import RtoEstimator
 
-from __future__ import annotations
-
-from ...simnet.engine import MS, SEC
-
-
-class RtoEstimator:
-    """Classic Jacobson/Karels estimator in integer nanoseconds."""
-
-    ALPHA = 1 / 8
-    BETA = 1 / 4
-    K = 4
-
-    def __init__(
-        self,
-        initial_rto_ns: int = 1 * SEC,
-        min_rto_ns: int = 200 * MS,
-        max_rto_ns: int = 60 * SEC,
-    ):
-        if not (0 < min_rto_ns <= max_rto_ns):
-            raise ValueError("require 0 < min_rto <= max_rto")
-        self.min_rto_ns = min_rto_ns
-        self.max_rto_ns = max_rto_ns
-        self.srtt: float = 0.0
-        self.rttvar: float = 0.0
-        self._rto: int = initial_rto_ns
-        self._backoff: int = 0
-        self.samples: int = 0
-
-    def sample(self, rtt_ns: int) -> None:
-        """Feed one RTT measurement (never from a retransmitted segment)."""
-        if rtt_ns < 0:
-            raise ValueError(f"negative RTT sample: {rtt_ns}")
-        if self.samples == 0:
-            self.srtt = float(rtt_ns)
-            self.rttvar = rtt_ns / 2.0
-        else:
-            err = abs(self.srtt - rtt_ns)
-            self.rttvar = (1 - self.BETA) * self.rttvar + self.BETA * err
-            self.srtt = (1 - self.ALPHA) * self.srtt + self.ALPHA * rtt_ns
-        self.samples += 1
-        self._backoff = 0
-        self._rto = int(self.srtt + max(self.K * self.rttvar, 1.0))
-        self._rto = max(self.min_rto_ns, min(self._rto, self.max_rto_ns))
-
-    def on_timeout(self) -> None:
-        """Exponential backoff after an expiry (capped)."""
-        self._backoff = min(self._backoff + 1, 10)
-
-    def reset_backoff(self) -> None:
-        """Forward progress observed (new cumulative ACK): drop the
-        exponential backoff (RFC 6298 §5.7 behaviour)."""
-        self._backoff = 0
-
-    @property
-    def rto_ns(self) -> int:
-        return min(self._rto << self._backoff, self.max_rto_ns)
+__all__ = ["RtoEstimator"]

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core.verbs import RnicDevice
-from repro.models.costs import default_cost_model, zero_cost_model
+from repro.models.costs import zero_cost_model
 from repro.simnet.topology import build_testbed
 from repro.transport.stacks import install_stacks
 

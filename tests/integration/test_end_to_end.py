@@ -1,9 +1,8 @@
 """Cross-layer integration tests: every layer at once, under stress."""
 
-import pytest
 
 from repro.bench.harness import VerbsEndpointPair
-from repro.core.verbs import RecvWR, SendWR, Sge, WcStatus, WrOpcode
+from repro.core.verbs import RecvWR, SendWR, Sge, WrOpcode
 from repro.memory.region import Access
 from repro.simnet.engine import MS, SEC
 from repro.simnet.loss import BernoulliLoss

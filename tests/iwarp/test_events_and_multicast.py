@@ -2,10 +2,7 @@
 
 import pytest
 
-from repro.core.verbs import (
-    CompletionQueue, MULTICAST_HOST, QpError, RecvWR, RnicDevice, SendWR, Sge,
-    WcStatus, WorkCompletion, WrOpcode, multicast_address,
-)
+from repro.core.verbs import CompletionQueue, QpError, RecvWR, RnicDevice, SendWR, Sge, WcStatus, WorkCompletion, WrOpcode, multicast_address
 from repro.memory.region import Access
 from repro.models.costs import zero_cost_model
 from repro.simnet.engine import MS, SEC, Simulator

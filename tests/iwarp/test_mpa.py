@@ -6,12 +6,9 @@ from repro.core.mpa.crc import CrcError, append_crc, crc32, split_and_verify
 from repro.core.mpa.fpdu import (
     FramingError, MAX_ULPDU, build_fpdu, fpdu_size, pad_for, parse_fpdu,
 )
-from repro.core.mpa.markers import (
-    MARKER_SIZE, MARKER_SPACING, MarkedStreamReader, MarkedStreamWriter,
-    marker_count_for,
-)
+from repro.core.mpa.markers import MARKER_SIZE, MarkedStreamReader, MarkedStreamWriter, marker_count_for
 from repro.core.mpa.connection import MpaConnection, OPERATIONAL
-from repro.simnet.engine import MS, SEC
+from repro.simnet.engine import SEC
 from repro.transport.stacks import install_stacks
 
 
@@ -181,7 +178,7 @@ class TestMpaConnection:
             "mpa", MpaConnection(sock, initiator=False, markers=False)
         )
         cli_sock = nets[0].tcp.connect((1, 4000))
-        cli = MpaConnection(cli_sock, initiator=True, markers=True)
+        MpaConnection(cli_sock, initiator=True, markers=True)
         zero_testbed.sim.run(until=5 * SEC)
         assert holder["mpa"].state == "FAILED"
 

@@ -3,10 +3,8 @@ deregistration races, zero-byte operations."""
 
 import pytest
 
-from repro.core.verbs import (
-    QpError, RecvWR, RnicDevice, SendWR, Sge, WcStatus, WrOpcode,
-)
-from repro.memory.region import Access, MemoryAccessError
+from repro.core.verbs import QpError, RecvWR, SendWR, Sge, WrOpcode
+from repro.memory.region import Access
 from repro.memory.sge import gather, scatter, sge_total
 from repro.memory.registry import StagRegistry
 from repro.simnet.engine import MS, SEC

@@ -50,7 +50,7 @@ class TestConnection:
     def test_multiple_connections_same_listener(self, zero_testbed, zero_devices):
         devA, devB = zero_devices
         pdA, pdB = devA.alloc_pd(), devB.alloc_pd()
-        listener = devB.rc_listen(4791, pdB, devB.create_cq)
+        devB.rc_listen(4791, pdB, devB.create_cq)
         qps = [devA.rc_connect((1, 4791), pdA, devA.create_cq()) for _ in range(3)]
         for qp in qps:
             zero_testbed.sim.run_until(qp.ready, limit=RUN_LIMIT)

@@ -8,7 +8,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.core.mpa.crc import CrcError, append_crc, split_and_verify
 from repro.memory.validity import ValidityMap
-from repro.models.costs import CostModel, default_cost_model, zero_cost_model
+from repro.models.costs import default_cost_model, zero_cost_model
 from repro.simnet.engine import SEC, Simulator
 from repro.simnet.loss import BernoulliLoss
 from repro.simnet.topology import build_testbed
@@ -81,7 +81,7 @@ def test_crc_detects_any_single_bit_flip(data, position_seed):
     bit = (position_seed // len(framed)) % 8
     framed[index] ^= 1 << bit
     try:
-        out = split_and_verify(bytes(framed))
+        split_and_verify(bytes(framed))
         raised = False
     except CrcError:
         raised = True

@@ -2,9 +2,7 @@
 
 import pytest
 
-from repro.simnet.engine import (
-    MS, SEC, US, AnyOf, Future, Process, SimulationError, Simulator, Timeout,
-)
+from repro.simnet.engine import MS, SEC, US, Future, Process, SimulationError, Simulator, Timeout
 
 
 class TestScheduling:

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.simnet.engine import Simulator
-from repro.simnet.host import Host
 from repro.simnet.link import Link
 from repro.simnet.loss import (
     BernoulliLoss, ExplicitLoss, GilbertElliottLoss, NoLoss, PatternLoss,

@@ -166,7 +166,7 @@ class TestInterceptorStream:
             r = yield ib.recvfrom_future(dfd, 4096, timeout_ns=5 * SEC)
             ib.sendto(dfd, b"dgram-ok", r[1])
             cfd = yield ib.accept_future(lfd)
-            data = yield ib.recv_future(cfd, 4096)
+            yield ib.recv_future(cfd, 4096)
             ib.send(cfd, b"stream-ok")
 
         def client():

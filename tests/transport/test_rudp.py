@@ -127,3 +127,139 @@ def test_per_peer_sequence_spaces(zero_testbed):
 def test_window_validation():
     with pytest.raises(RudpError):
         RudpSocket.__new__(RudpSocket).__init__(None, window_msgs=0)
+
+
+# ---------------------------------------------------------------------------
+# Close semantics
+# ---------------------------------------------------------------------------
+
+
+def _host_socket(zero_testbed, index, port=None, **kwargs):
+    ip = IpStack(zero_testbed.hosts[index])
+    udp = UdpStack(zero_testbed.hosts[index], ip)
+    return RudpSocket(udp.socket(port), **kwargs)
+
+
+def test_close_detaches_and_fails_everything(rudp_pair):
+    tb, a, b = rudp_pair
+    fut = b.recv_future()
+    results = []
+    a.sendto(b"doomed", (1, 6000), on_result=results.append)
+    a.close()
+    b.close()
+    assert a.udp.on_datagram is None and b.udp.on_datagram is None
+    assert results == [False]
+    assert a.messages_failed == 1
+    assert fut.done and fut.value is None
+    late = b.recv_future()
+    assert late.done and late.value is None  # closed socket resolves at once
+    with pytest.raises(RudpError):
+        a.sendto(b"x", (1, 6000))
+    tb.sim.run(until=1 * SEC)  # no stray timers fire afterwards
+
+
+def test_close_is_idempotent(rudp_pair):
+    _, a, _ = rudp_pair
+    a.sendto(b"m", (1, 6000))
+    a.close()
+    a.close()  # second close is a no-op, not an error
+
+
+def test_close_fails_queued_messages_too(rudp_pair):
+    _, a, _ = rudp_pair
+    a.window_msgs = 1
+    results = []
+    a.sendto(b"inflight", (1, 6000), on_result=lambda ok: results.append(("i", ok)))
+    a.sendto(b"queued", (1, 6000), on_result=lambda ok: results.append(("q", ok)))
+    a.close()
+    assert results == [("i", False), ("q", False)]
+    assert a.messages_failed == 2
+
+
+# ---------------------------------------------------------------------------
+# Delivery callbacks
+# ---------------------------------------------------------------------------
+
+
+def test_on_result_reports_acked_delivery(rudp_pair):
+    tb, a, b = rudp_pair
+    results = []
+    b.on_message = lambda d, src: None
+    a.sendto(b"ok", (1, 6000), on_result=results.append)
+    assert results == []  # not before the ACK comes back
+    tb.sim.run(until=1 * SEC)
+    assert results == [True]
+
+
+# ---------------------------------------------------------------------------
+# Adaptive RTO / fast retransmit / SACK
+# ---------------------------------------------------------------------------
+
+
+def test_adaptive_rto_converges_below_initial(rudp_pair):
+    tb, a, b = rudp_pair
+    addr = (1, 6000)
+    b.on_message = lambda d, src: None
+    for i in range(20):
+        a.sendto(f"m{i}".encode(), addr)
+    tb.sim.run(until=1 * SEC)
+    assert a.rto_samples >= 20
+    # A clean LAN has microsecond RTTs; the estimator must have pulled
+    # the RTO well below the 2 ms it was seeded with (down to the floor).
+    assert a.min_rto_ns <= a.current_rto_ns(addr) < 2 * MS
+    stats = a.peer_stats(addr)
+    assert stats.srtt_ns > 0 and stats.rto_ns == a.current_rto_ns(addr)
+
+
+def test_fast_retransmit_beats_timeout(zero_testbed):
+    tb = zero_testbed
+    # A huge, non-adaptive-floor RTO isolates fast retransmit: if the
+    # drop were repaired by timeout the test's time bound would trip.
+    a = _host_socket(tb, 0, 6000, rto_ns=50 * MS, min_rto_ns=50 * MS)
+    b = _host_socket(tb, 1, 6000)
+    tb.set_egress_loss(0, ExplicitLoss([2]))  # lose the second message
+    got = []
+    b.on_message = lambda d, src: got.append(d)
+    msgs = [f"m{i}".encode() for i in range(10)]
+    for m in msgs:
+        a.sendto(m, (1, 6000))
+    tb.sim.run(until=40 * MS)  # before the first 50 ms timeout could fire
+    assert got == msgs
+    assert a.fast_retransmits == 1
+    assert a.timeouts == 0
+    # SACK kept the repair surgical: one loss, one retransmission.
+    assert a.retransmissions == 1
+    assert a.sack_blocks_received >= 1
+
+
+def test_fixed_mode_recovers_by_timeout_only(zero_testbed):
+    tb = zero_testbed
+    a = _host_socket(tb, 0, 6000, rto_ns=2 * MS, adaptive=False)
+    b = _host_socket(tb, 1, 6000)
+    tb.set_egress_loss(0, ExplicitLoss([1]))
+    got = []
+    b.on_message = lambda d, src: got.append(d)
+    msgs = [f"m{i}".encode() for i in range(5)]
+    for m in msgs:
+        a.sendto(m, (1, 6000))
+    tb.sim.run(until=1 * SEC)
+    assert got == msgs
+    assert a.fast_retransmits == 0  # no fast path in the legacy mode
+    assert a.timeouts >= 1
+    assert a.current_rto_ns((1, 6000)) == 2 * MS  # never adapts
+
+
+def test_backoff_spaces_retries_to_dead_peer(zero_testbed):
+    # Only host 0 has a stack; the peer simply doesn't exist.
+    sock = _host_socket(zero_testbed, 0, rto_ns=1 * MS, max_retries=5)
+    results = []
+    failed_at = []
+    sock.on_peer_failed = lambda addr: failed_at.append(zero_testbed.sim.now)
+    sock.sendto(b"void", (1, 7000), on_result=results.append)
+    zero_testbed.sim.run(until=10 * SEC)
+    assert results == [False]
+    assert sock.peer_failures == 1 and sock.messages_failed == 1
+    assert sock.timeouts == 5 and sock.backoff_events == 5
+    # Exponential backoff: the retry train must stretch far beyond the
+    # 6 ms that six fixed 1 ms timeouts would have taken.
+    assert failed_at and failed_at[0] > 6 * MS

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.simnet.engine import MS, SEC
+from repro.simnet.engine import SEC
 from repro.simnet.loss import BernoulliLoss, ExplicitLoss
 from repro.transport.ip import IpStack
 from repro.transport.sctp import ESTABLISHED, CLOSED, SctpError, SctpStack

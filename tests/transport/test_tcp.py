@@ -11,7 +11,6 @@ from repro.transport.tcp.connection import (
 from repro.transport.tcp.congestion import RenoCongestion
 from repro.transport.tcp.rto import RtoEstimator
 from repro.transport.tcp.segment import ACK, FIN, SYN, TcpSegment, flag_names
-from repro.transport.tcp.socket import TcpStack
 
 
 @pytest.fixture

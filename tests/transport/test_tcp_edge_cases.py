@@ -5,7 +5,7 @@ import pytest
 from repro.simnet.engine import MS, SEC
 from repro.simnet.loss import BernoulliLoss, ExplicitLoss
 from repro.transport.stacks import install_stacks
-from repro.transport.tcp.connection import CLOSED, ESTABLISHED
+from repro.transport.tcp.connection import CLOSED
 
 
 @pytest.fixture

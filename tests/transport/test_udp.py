@@ -4,10 +4,7 @@ import pytest
 
 from repro.simnet.engine import MS
 from repro.transport.ip import IpStack
-from repro.transport.udp import (
-    AddressInUseError, MessageTooLongError, UDP_MAX_PAYLOAD, UdpError,
-    UdpSocket, UdpStack,
-)
+from repro.transport.udp import AddressInUseError, MessageTooLongError, UDP_MAX_PAYLOAD, UdpError, UdpStack
 
 
 @pytest.fixture
@@ -147,7 +144,7 @@ class TestCosts:
         udp0 = UdpStack(testbed.hosts[0], ip0)
         ip1 = IpStack(testbed.hosts[1])
         udp1 = UdpStack(testbed.hosts[1], ip1)
-        rx = udp1.socket(9)
+        udp1.socket(9)
         udp0.socket().sendto(b"x" * 1000, (1, 9))
         testbed.sim.run()
         costs = testbed.costs
