@@ -1,0 +1,21 @@
+"""Repo-root shim: lets ``python -m iwarplint src/`` work from a checkout
+without installing anything or exporting PYTHONPATH.
+
+``python -m`` puts the current directory first on ``sys.path``, so this
+module is what gets executed; it prepends ``tools/`` (where the real
+package lives) and re-resolves the import so ``iwarplint`` names the
+package, then delegates to its CLI.
+"""
+
+import os
+import sys
+
+_TOOLS = os.path.join(os.path.dirname(os.path.abspath(__file__)), "tools")
+if _TOOLS not in sys.path:
+    sys.path.insert(0, _TOOLS)
+sys.modules.pop("iwarplint", None)
+
+from iwarplint.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

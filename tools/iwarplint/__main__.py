@@ -1,0 +1,7 @@
+"""``python -m iwarplint`` (with ``tools/`` on ``sys.path``)."""
+
+import sys
+
+from iwarplint.cli import main
+
+sys.exit(main())

@@ -1,0 +1,55 @@
+"""Command-line entry point: ``python -m iwarplint [paths...]``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from iwarplint.driver import all_rules, lint_paths
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="iwarplint",
+        description="Protocol-invariant static analysis for the datagram-iWARP stack.",
+    )
+    parser.add_argument("paths", nargs="*", default=["src"], help="files or directories to lint")
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated rule codes or prefixes to report (e.g. IW2,IW403)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print every rule code and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for code, description in sorted(all_rules().items()):
+            print(f"{code}  {description}")
+        return 0
+
+    select = None
+    if args.select:
+        select = [code.strip() for code in args.select.split(",") if code.strip()]
+    paths = [Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(f"iwarplint: no such path: {', '.join(map(str, missing))}", file=sys.stderr)
+        return 2
+
+    findings = lint_paths(paths, select=select)
+    for violation in findings:
+        print(violation.render())
+    files = len({v.path for v in findings})
+    if findings:
+        print(f"iwarplint: {len(findings)} violation(s) in {files} file(s)", file=sys.stderr)
+        return 1
+    print("iwarplint: clean", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

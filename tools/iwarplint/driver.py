@@ -1,0 +1,174 @@
+"""Rule driver: file discovery, module naming, pragmas, rule dispatch."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One finding.  Ordering groups output by file, then line."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+@dataclass
+class SourceModule:
+    """A parsed source file plus the metadata rules need."""
+
+    path: Path
+    name: Optional[str]  # dotted module name, if the file sits in a package
+    tree: ast.Module
+    lines: Sequence[str]
+    _line_disables: Dict[int, Optional[FrozenSet[str]]] = field(default_factory=dict)
+    _file_disables: Optional[FrozenSet[str]] = None  # None=nothing, empty=all
+
+    @classmethod
+    def load(cls, path: Path) -> "SourceModule":
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+        mod = cls(path=path, name=module_name_for(path), tree=tree, lines=source.splitlines())
+        mod._scan_pragmas()
+        return mod
+
+    def _scan_pragmas(self) -> None:
+        for idx, text in enumerate(self.lines, start=1):
+            marker = "# iwarplint:"
+            pos = text.find(marker)
+            if pos < 0:
+                continue
+            directive = text[pos + len(marker) :].strip()
+            if directive.startswith("disable-file"):
+                rules = _parse_rule_list(directive[len("disable-file") :])
+                if idx <= 10:
+                    self._file_disables = rules
+            elif directive.startswith("disable"):
+                self._line_disables[idx] = _parse_rule_list(directive[len("disable") :])
+
+    def suppressed(self, line: int, rule: str) -> bool:
+        if self._file_disables is not None and (
+            not self._file_disables or rule in self._file_disables
+        ):
+            return True
+        rules = self._line_disables.get(line, None)
+        if rules is None:
+            return False
+        return not rules or rule in rules
+
+    def violation(self, rule: str, node: ast.AST, message: str) -> Violation:
+        return Violation(
+            path=str(self.path),
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=rule,
+            message=message,
+        )
+
+
+def _parse_rule_list(text: str) -> FrozenSet[str]:
+    """Parse ``=IW101,IW202`` into rule codes; empty set means "all"."""
+    text = text.strip()
+    if not text.startswith("="):
+        return frozenset()
+    return frozenset(code.strip() for code in text[1:].split(",") if code.strip())
+
+
+def module_name_for(path: Path) -> Optional[str]:
+    """Dotted module name, walking up while ``__init__.py`` exists."""
+    path = path.resolve()
+    if path.name == "__init__.py":
+        parts: List[str] = []
+        pkg_dir = path.parent
+    elif path.suffix == ".py":
+        parts = [path.stem]
+        pkg_dir = path.parent
+    else:
+        return None
+    while (pkg_dir / "__init__.py").exists():
+        parts.insert(0, pkg_dir.name)
+        pkg_dir = pkg_dir.parent
+    return ".".join(parts) if parts else None
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterable[Path]:
+    seen: Set[Path] = set()
+    for raw in paths:
+        root = Path(raw)
+        if root.is_file():
+            candidates: Iterable[Path] = [root] if root.suffix == ".py" else []
+        else:
+            candidates = sorted(root.rglob("*.py"))
+        for path in candidates:
+            resolved = path.resolve()
+            if resolved in seen:
+                continue
+            if "__pycache__" in resolved.parts:
+                continue
+            if any(part.startswith(".") and part not in (".", "..") for part in resolved.parts[1:]):
+                continue
+            seen.add(resolved)
+            yield path
+
+
+def all_rules() -> Dict[str, str]:
+    """Rule code -> one-line description, across every rule family."""
+    from iwarplint.rules import FAMILIES
+
+    table: Dict[str, str] = {"IW001": "file does not parse (syntax error)"}
+    for family in FAMILIES:
+        table.update(family.RULES)
+    return table
+
+
+def lint_paths(
+    paths: Iterable[Path],
+    select: Optional[Iterable[str]] = None,
+) -> List[Violation]:
+    """Lint every Python file under ``paths``; return sorted violations.
+
+    ``select`` optionally restricts output to the given rule codes (or
+    code prefixes, e.g. ``IW2`` for the whole FSM family).
+    """
+    from iwarplint.rules import FAMILIES
+
+    selected = tuple(select) if select else None
+
+    def wanted(rule: str) -> bool:
+        if selected is None:
+            return True
+        return any(rule == code or rule.startswith(code) for code in selected)
+
+    findings: List[Violation] = []
+    for path in iter_python_files(paths):
+        try:
+            module = SourceModule.load(path)
+        except SyntaxError as exc:
+            if wanted("IW001"):
+                findings.append(
+                    Violation(
+                        path=str(path),
+                        line=exc.lineno or 1,
+                        col=(exc.offset or 0) + 1,
+                        rule="IW001",
+                        message=f"file does not parse: {exc.msg}",
+                    )
+                )
+            continue
+        for family in FAMILIES:
+            for violation in family.check(module):
+                if not wanted(violation.rule):
+                    continue
+                if module.suppressed(violation.line, violation.rule):
+                    continue
+                findings.append(violation)
+    return sorted(findings)

@@ -1,0 +1,300 @@
+"""Declarative invariants checked by iwarplint.
+
+This module is pure data: the layer order and import allowlist, the
+QP/connection state-transition tables, the wire-format manifest, and the
+determinism ban lists.  The rule implementations in
+:mod:`iwarplint.rules` interpret it; changing an invariant is a one-line
+edit here (plus, for FSM tables, the mirrored table in the stack module
+it describes — drift between the two is itself a violation, IW204).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Mapping, Optional, Sequence, Tuple
+
+# ---------------------------------------------------------------------------
+# Layering (IW1xx)
+# ---------------------------------------------------------------------------
+#
+# Stack order from the paper (Fig. 1 / section IV): applications and the
+# socket interface sit on verbs, verbs on RDMAP, RDMAP on DDP, DDP on MPA
+# (stream mode only), MPA on the transport, transports on the simulated
+# network.  ``memory`` and ``models`` are support libraries usable from
+# any layer.  Lower rank = higher in the stack.
+
+LAYER_RANK: Dict[str, int] = {
+    "apps": 0,
+    "bench": 0,
+    "socketif": 1,
+    "verbs": 2,
+    "rdmap": 3,
+    "ddp": 4,
+    "mpa": 5,
+    "transport": 6,
+    "simnet": 7,
+}
+
+SUPPORT_LAYERS: FrozenSet[str] = frozenset({"memory", "models"})
+
+# Longest-prefix match from dotted module name to layer.
+LAYER_OF_PREFIX: Sequence[Tuple[str, str]] = (
+    ("repro.apps", "apps"),
+    ("repro.bench", "bench"),
+    ("repro.core.socketif", "socketif"),
+    ("repro.core.verbs", "verbs"),
+    ("repro.core.rdmap", "rdmap"),
+    ("repro.core.ddp", "ddp"),
+    ("repro.core.mpa", "mpa"),
+    ("repro.transport", "transport"),
+    ("repro.simnet", "simnet"),
+    ("repro.memory", "memory"),
+    ("repro.models", "models"),
+)
+
+# Sanctioned non-adjacent edges: (source layer, target layer) -> allowed
+# target-module prefixes, or None for "any module in that layer".
+# Anything not adjacent-downward, same-layer, support-target, or listed
+# here is a violation.
+SANCTIONED_EDGES: Dict[Tuple[str, str], Optional[FrozenSet[str]]] = {
+    # Harness/demo layers drive the whole stack directly.
+    ("apps", "verbs"): None,
+    ("apps", "transport"): frozenset({"repro.transport.stacks"}),
+    ("apps", "simnet"): None,
+    ("bench", "verbs"): None,
+    ("bench", "transport"): frozenset({"repro.transport.stacks"}),
+    ("bench", "simnet"): None,
+    # The socket interface builds on verbs but also needs the assembled
+    # NetStack facade and the event loop.
+    ("socketif", "transport"): frozenset({"repro.transport.stacks"}),
+    ("socketif", "simnet"): frozenset({"repro.simnet.engine"}),
+    # Datagram iWARP (paper section IV.B): UD QPs frame DDP segments
+    # straight onto UDP/RUDP, bypassing MPA.  This is THE sanctioned
+    # layer skip the paper is about; verbs also owns connection setup,
+    # so it touches MPA and DDP directly.
+    ("verbs", "ddp"): None,
+    ("verbs", "mpa"): None,
+    ("verbs", "transport"): None,
+    ("verbs", "simnet"): frozenset({"repro.simnet.engine"}),
+    # Protocol engines may use the event-loop primitives, nothing else
+    # from simnet (hosts/NICs/topology belong to the harness).
+    ("rdmap", "simnet"): frozenset({"repro.simnet.engine"}),
+    ("mpa", "simnet"): frozenset({"repro.simnet.engine"}),
+    # RDMAP completes verbs-level work requests; it may import the WR/WC
+    # vocabulary (plain dataclasses), never QP/CQ machinery.
+    ("rdmap", "verbs"): frozenset({"repro.core.verbs.wr"}),
+}
+
+
+def layer_of(module: str) -> Optional[str]:
+    """Layer for a dotted module name, or None if unlayered."""
+    best: Optional[str] = None
+    best_len = -1
+    for prefix, layer in LAYER_OF_PREFIX:
+        if (module == prefix or module.startswith(prefix + ".")) and len(prefix) > best_len:
+            best, best_len = layer, len(prefix)
+    return best
+
+
+# ---------------------------------------------------------------------------
+# FSM conformance (IW2xx)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FsmSpec:
+    """One guarded state machine: where it lives and what it permits."""
+
+    module: str  # dotted module owning the FSM
+    attr: str  # instance attribute holding the state ("state")
+    helper: str  # the validated setter every write must go through
+    table_name: str  # module-level transition-table constant (IW204)
+    initial: FrozenSet[str]  # states assignable directly in __init__
+    any_targets: FrozenSet[str]  # states reachable from anywhere (error/teardown)
+    table: Mapping[str, FrozenSet[str]] = field(default_factory=dict)
+
+    @property
+    def states(self) -> FrozenSet[str]:
+        everything = set(self.table) | self.any_targets | self.initial
+        for targets in self.table.values():
+            everything |= targets
+        return frozenset(everything)
+
+
+def _t(table: Mapping[str, Sequence[str]]) -> Dict[str, FrozenSet[str]]:
+    return {src: frozenset(dsts) for src, dsts in table.items()}
+
+
+# Verbs QP states (modify_qp semantics; the paper keeps standard verbs
+# so datagram QPs honour the same ladder, section IV.B item 1).
+QP_TABLE = _t(
+    {
+        "RESET": ("INIT", "RTS", "ERROR"),
+        "INIT": ("RTR", "RESET", "ERROR"),
+        "RTR": ("RTS", "RESET", "ERROR"),
+        "RTS": ("SQD", "RESET", "ERROR"),
+        "SQD": ("RTS", "RESET", "ERROR"),
+        "ERROR": ("RESET",),
+    }
+)
+
+# TCP connection FSM (RFC 793 subset implemented by transport.tcp).
+TCP_TABLE = _t(
+    {
+        "CLOSED": ("SYN_SENT", "SYN_RCVD"),
+        "SYN_SENT": ("ESTABLISHED", "CLOSED"),
+        "SYN_RCVD": ("ESTABLISHED", "FIN_WAIT_1", "CLOSED"),
+        "ESTABLISHED": ("FIN_WAIT_1", "CLOSE_WAIT", "CLOSED"),
+        "FIN_WAIT_1": ("FIN_WAIT_2", "CLOSING", "TIME_WAIT", "CLOSED"),
+        "FIN_WAIT_2": ("TIME_WAIT", "CLOSED"),
+        "CLOSE_WAIT": ("LAST_ACK", "CLOSED"),
+        "LAST_ACK": ("CLOSED",),
+        "CLOSING": ("TIME_WAIT", "CLOSED"),
+        "TIME_WAIT": ("CLOSED",),
+    }
+)
+
+# MPA connection lifecycle (RFC 5044 startup then full operation).
+MPA_TABLE = _t(
+    {
+        "NEGOTIATING": ("OPERATIONAL", "FAILED"),
+        "OPERATIONAL": ("FAILED",),
+        "FAILED": (),
+    }
+)
+
+# SCTP association lifecycle (RFC 4960 four-way handshake subset; a
+# passive endpoint goes CLOSED -> ESTABLISHED on a valid COOKIE ECHO).
+SCTP_TABLE = _t(
+    {
+        "CLOSED": ("COOKIE_WAIT", "ESTABLISHED"),
+        "COOKIE_WAIT": ("COOKIE_ECHOED", "ESTABLISHED", "CLOSED"),
+        "COOKIE_ECHOED": ("ESTABLISHED", "CLOSED"),
+        "ESTABLISHED": ("SHUTDOWN_SENT", "CLOSED"),
+        "SHUTDOWN_SENT": ("CLOSED",),
+    }
+)
+
+FSM_SPECS: Sequence[FsmSpec] = (
+    FsmSpec(
+        module="repro.core.verbs.qp",
+        attr="state",
+        helper="_set_state",
+        table_name="QP_TRANSITIONS",
+        initial=frozenset({"RESET"}),
+        any_targets=frozenset({"ERROR"}),
+        table=QP_TABLE,
+    ),
+    FsmSpec(
+        module="repro.transport.tcp.connection",
+        attr="state",
+        helper="_set_state",
+        table_name="TCP_TRANSITIONS",
+        initial=frozenset({"CLOSED"}),
+        any_targets=frozenset({"CLOSED"}),
+        table=TCP_TABLE,
+    ),
+    FsmSpec(
+        module="repro.core.mpa.connection",
+        attr="state",
+        helper="_set_state",
+        table_name="MPA_TRANSITIONS",
+        initial=frozenset({"NEGOTIATING"}),
+        any_targets=frozenset({"FAILED"}),
+        table=MPA_TABLE,
+    ),
+    FsmSpec(
+        module="repro.transport.sctp",
+        attr="state",
+        helper="_set_state",
+        table_name="SCTP_TRANSITIONS",
+        initial=frozenset({"CLOSED"}),
+        any_targets=frozenset({"CLOSED"}),
+        table=SCTP_TABLE,
+    ),
+)
+
+
+# ---------------------------------------------------------------------------
+# Wire format (IW3xx)
+# ---------------------------------------------------------------------------
+#
+# Every struct format string appearing in a watched module must be listed
+# here with the byte length the header requires (RFC 5040/5041/5044 plus
+# the paper's UD extensions).  ``struct.calcsize`` of the format must
+# equal the declared size, or the manifest has drifted from the code.
+
+WIRE_WATCHED_PREFIXES: Sequence[str] = ("repro.core", "repro.transport")
+
+WIRE_FORMATS: Dict[str, Dict[str, int]] = {
+    "repro.core.ddp.headers": {
+        "!BB": 2,  # DDP control: flags/opcode (RFC 5041 hdr head)
+        "!IQ": 12,  # tagged: STag + TO
+        "!III": 12,  # untagged: QN, MSN, MO
+        "!QQQ": 24,  # UD extension: msg id, length, offset (paper IV.B)
+        "!IQIIQ": 28,  # RDMA Read Request supplement
+    },
+    "repro.core.mpa.crc": {
+        "!I": 4,  # CRC32c trailer (RFC 5044)
+    },
+    "repro.core.mpa.fpdu": {
+        "!H": 2,  # MPA ULPDU length prefix
+        "!I": 4,  # CRC trailer re-read at the receiver
+    },
+    "repro.core.mpa.connection": {
+        "!HBB4x": 8,  # private negotiation frame: magic, type, flags, pad
+    },
+    "repro.core.mpa.markers": {
+        "!HH": 4,  # marker: reserved + FPDU back-pointer
+    },
+    "repro.core.socketif.interface": {
+        "!BIQ": 13,  # ring advertisement reply: type, STag, ring size
+        "!B": 1,  # message-type discriminator
+    },
+    "repro.transport.rudp": {
+        "!BQ": 9,  # RUDP header: kind + 64-bit sequence number
+        "!Q": 8,  # ACK echo: seq whose arrival triggered the ACK
+        "!QQ": 16,  # SACK range: inclusive [start, end]
+    },
+}
+
+
+# ---------------------------------------------------------------------------
+# Determinism (IW4xx)
+# ---------------------------------------------------------------------------
+
+DETERMINISM_SCOPES: Sequence[str] = ("repro.simnet", "repro.transport", "repro.core")
+
+# Wall-clock and environment entropy: (module, function) pairs.
+WALL_CLOCK_CALLS: FrozenSet[Tuple[str, str]] = frozenset(
+    {
+        ("time", "time"),
+        ("time", "time_ns"),
+        ("time", "monotonic"),
+        ("time", "monotonic_ns"),
+        ("time", "perf_counter"),
+        ("time", "perf_counter_ns"),
+        ("time", "process_time"),
+        ("datetime", "now"),
+        ("datetime", "utcnow"),
+        ("datetime", "today"),
+        ("date", "today"),
+        ("os", "urandom"),
+        ("os", "getrandom"),
+        ("uuid", "uuid1"),
+        ("uuid", "uuid4"),
+    }
+)
+
+# Modules whose every attribute use is entropy (no seeded mode exists).
+ENTROPY_MODULES: FrozenSet[str] = frozenset({"secrets"})
+
+# The one sanctioned randomness pattern: an explicitly seeded
+# random.Random(seed) instance.  Everything else on the module-level
+# random API shares hidden global state and is banned.
+SEEDED_RNG_CLASS = "Random"
+
+# Builtins through which iterating a set is order-insensitive.
+ORDER_INSENSITIVE_WRAPPERS: FrozenSet[str] = frozenset(
+    {"sorted", "len", "min", "max", "sum", "any", "all", "set", "frozenset"}
+)

@@ -1,0 +1,9 @@
+"""Rule families.  Each module exposes ``RULES`` (code -> description)
+and ``check(module) -> Iterable[Violation]``.  Adding a family is: write
+the module, append it to ``FAMILIES``."""
+
+from iwarplint.rules import determinism, fsm, layering, wire
+
+FAMILIES = (layering, fsm, wire, determinism)
+
+__all__ = ["FAMILIES", "layering", "fsm", "wire", "determinism"]

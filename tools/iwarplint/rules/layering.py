@@ -1,0 +1,149 @@
+"""IW1xx — layering: enforce the paper's stack order on imports.
+
+Allowed without sanction: importing within your own layer, importing the
+layer directly beneath you, and importing the support libraries
+(``memory``, ``models``).  Everything else — upward imports, skips over
+intermediate layers (except the declared datagram MPA-bypass edges), and
+support libraries reaching into the stack — is flagged.
+
+Imports inside an ``if TYPE_CHECKING:`` block are exempt: they exist
+only for annotations and never execute, so they create no runtime
+dependency between layers.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Optional
+
+from iwarplint import invariants as inv
+from iwarplint.driver import SourceModule, Violation
+
+RULES = {
+    "IW101": "upward or support-layer import violating the stack order",
+    "IW102": "layer-skipping import without a sanctioned allowlist edge",
+    "IW103": "sanctioned edge used for a module outside its allowlist",
+}
+
+
+def _resolve_base(module: SourceModule, node: ast.ImportFrom) -> Optional[str]:
+    """Absolute dotted package an ``ImportFrom`` pulls names out of."""
+    if node.level == 0:
+        return node.module
+    if module.name is None:
+        return None  # relative import outside a package: unresolvable
+    parts = module.name.split(".")
+    if module.path.name != "__init__.py":
+        parts = parts[:-1]  # the containing package
+    parts = parts[: len(parts) - (node.level - 1)]
+    if not parts:
+        return None
+    base = ".".join(parts)
+    return f"{base}.{node.module}" if node.module else base
+
+
+def _within(target: str, prefixes: Iterable[str]) -> bool:
+    return any(target == p or target.startswith(p + ".") for p in prefixes)
+
+
+def _is_type_checking_test(test: ast.expr) -> bool:
+    if isinstance(test, ast.Name):
+        return test.id == "TYPE_CHECKING"
+    return isinstance(test, ast.Attribute) and test.attr == "TYPE_CHECKING"
+
+
+def _type_only_imports(tree: ast.AST) -> set:
+    """ids of import statements guarded by ``if TYPE_CHECKING:``."""
+    guarded: set = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.If) and _is_type_checking_test(node.test):
+            for inner in node.body:
+                for sub in ast.walk(inner):
+                    if isinstance(sub, (ast.Import, ast.ImportFrom)):
+                        guarded.add(id(sub))
+    return guarded
+
+
+def check(module: SourceModule) -> Iterator[Violation]:
+    src_layer = inv.layer_of(module.name) if module.name else None
+    if src_layer is None:
+        return
+    src_support = src_layer in inv.SUPPORT_LAYERS
+    type_only = _type_only_imports(module.tree)
+
+    for node in ast.walk(module.tree):
+        if id(node) in type_only:
+            continue
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                verdict = _classify(module, node, src_layer, src_support, alias.name)
+                if verdict is not None:
+                    yield verdict
+        elif isinstance(node, ast.ImportFrom):
+            base = _resolve_base(module, node)
+            if not base:
+                continue
+            base_layered = inv.layer_of(base) is not None
+            base_clean = _classify(module, node, src_layer, src_support, base) is None
+            for alias in node.names:
+                # ``from pkg import x`` binds either a symbol or the
+                # submodule pkg.x; judge the most specific name, but let
+                # a fully-sanctioned base carry its symbols with it.
+                verdict = _classify(module, node, src_layer, src_support, f"{base}.{alias.name}")
+                if verdict is None or (base_layered and base_clean):
+                    continue
+                yield verdict
+
+
+def _classify(
+    module: SourceModule,
+    node: ast.stmt,
+    src_layer: str,
+    src_support: bool,
+    target: str,
+) -> Optional[Violation]:
+    """None when importing ``target`` is permitted, else the violation."""
+    if not (target == "repro" or target.startswith("repro.")):
+        return None  # stdlib / third-party: out of scope
+    tgt_layer = inv.layer_of(target)
+    if tgt_layer is None:
+        return None  # repro root or unlayered helper
+    if src_support:
+        if tgt_layer in inv.SUPPORT_LAYERS:
+            return None
+        return module.violation(
+            "IW101",
+            node,
+            f"support layer '{src_layer}' must not depend on stack layer "
+            f"'{tgt_layer}' (import of {target})",
+        )
+    if tgt_layer in inv.SUPPORT_LAYERS or tgt_layer == src_layer:
+        return None
+
+    src_rank = inv.LAYER_RANK[src_layer]
+    tgt_rank = inv.LAYER_RANK[tgt_layer]
+    if (src_layer, tgt_layer) in inv.SANCTIONED_EDGES:
+        allowed = inv.SANCTIONED_EDGES[(src_layer, tgt_layer)]
+        if allowed is None or _within(target, allowed):
+            return None
+        return module.violation(
+            "IW103",
+            node,
+            f"'{src_layer}' may reach '{tgt_layer}' only via "
+            f"{', '.join(sorted(allowed))}; import of {target} is outside the allowlist",
+        )
+    if tgt_rank < src_rank:
+        return module.violation(
+            "IW101",
+            node,
+            f"upward import: '{src_layer}' (rank {src_rank}) must not import "
+            f"'{tgt_layer}' (rank {tgt_rank}) — {target}",
+        )
+    if tgt_rank > src_rank + 1:
+        return module.violation(
+            "IW102",
+            node,
+            f"layer skip: '{src_layer}' -> '{tgt_layer}' jumps over "
+            f"{tgt_rank - src_rank - 1} layer(s) with no sanctioned edge — {target}",
+        )
+    return None

@@ -1,0 +1,93 @@
+"""IW3xx — wire-format: struct format strings vs the header manifest.
+
+Every ``struct.Struct(...)`` / ``struct.pack/unpack/...`` format literal
+appearing in a watched protocol module must be declared in
+``invariants.WIRE_FORMATS`` with the byte length the header requires
+(RFC 5040/5041/5044 and the paper's UD extensions), and
+``struct.calcsize`` of the literal must equal that declared length.
+Compiled ``Struct`` objects are checked at their construction site, so
+later ``self._hdr.pack(...)`` calls need no re-checking.
+"""
+
+from __future__ import annotations
+
+import ast
+import struct
+from typing import Iterator, Optional
+
+from iwarplint import invariants as inv
+from iwarplint.driver import SourceModule, Violation
+
+RULES = {
+    "IW301": "struct format not declared in the wire-format manifest",
+    "IW302": "struct format size disagrees with the declared header length",
+    "IW303": "non-literal struct format in a protocol module (unverifiable)",
+}
+
+_STRUCT_FUNCS = {
+    "Struct",
+    "pack",
+    "unpack",
+    "pack_into",
+    "unpack_from",
+    "calcsize",
+    "iter_unpack",
+}
+
+
+def _watched(name: Optional[str]) -> bool:
+    return name is not None and any(
+        name == p or name.startswith(p + ".") for p in inv.WIRE_WATCHED_PREFIXES
+    )
+
+
+def check(module: SourceModule) -> Iterator[Violation]:
+    if not _watched(module.name):
+        return
+    assert module.name is not None
+    declared = inv.WIRE_FORMATS.get(module.name, {})
+
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not (
+            isinstance(func, ast.Attribute)
+            and func.attr in _STRUCT_FUNCS
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "struct"
+        ):
+            continue
+        if not node.args:
+            continue
+        fmt_node = node.args[0]
+        if not (isinstance(fmt_node, ast.Constant) and isinstance(fmt_node.value, str)):
+            yield module.violation(
+                "IW303",
+                node,
+                f"struct.{func.attr} format is not a string literal; "
+                "wire formats in protocol modules must be statically checkable",
+            )
+            continue
+        fmt = fmt_node.value
+        if fmt not in declared:
+            yield module.violation(
+                "IW301",
+                node,
+                f"format '{fmt}' is not declared for {module.name} in "
+                "iwarplint.invariants.WIRE_FORMATS",
+            )
+            continue
+        try:
+            actual = struct.calcsize(fmt)
+        except struct.error as exc:
+            yield module.violation("IW302", node, f"format '{fmt}' is invalid: {exc}")
+            continue
+        expected = declared[fmt]
+        if actual != expected:
+            yield module.violation(
+                "IW302",
+                node,
+                f"format '{fmt}' packs {actual} bytes but the manifest declares "
+                f"{expected} for {module.name}",
+            )
