@@ -14,7 +14,7 @@ syscalls — everything §IV.A argues datagram-iWARP avoids.
 from __future__ import annotations
 
 import struct
-from typing import Callable, Optional
+from typing import Callable, Dict, FrozenSet, Optional
 
 from ...simnet.engine import Future
 from ...transport.tcp.socket import TcpSocket
@@ -33,6 +33,15 @@ _FLAG_CRC = 0x2
 NEGOTIATING = "NEGOTIATING"
 OPERATIONAL = "OPERATIONAL"
 FAILED = "FAILED"
+
+#: Legal lifecycle moves (RFC 5044: startup exchange, then full
+#: operation until the stream dies).  Mirrored in
+#: ``iwarplint.invariants.MPA_TABLE``; drift is flagged (IW204).
+MPA_TRANSITIONS: "Dict[str, FrozenSet[str]]" = {
+    NEGOTIATING: frozenset({OPERATIONAL, FAILED}),
+    OPERATIONAL: frozenset({FAILED}),
+    FAILED: frozenset(),
+}
 
 
 class MpaError(Exception):
@@ -102,13 +111,23 @@ class MpaConnection:
         else:
             self._fail(MpaError(f"unexpected negotiation type {neg_type}"))
 
+    def _set_state(self, new_state: str) -> None:
+        """Sole state mutator after construction; validates the move
+        against :data:`MPA_TRANSITIONS` (same-state is a no-op)."""
+        current = self.state
+        if new_state == current:
+            return
+        if new_state not in MPA_TRANSITIONS.get(current, frozenset()):
+            raise MpaError(f"illegal MPA state transition {current} -> {new_state}")
+        self.state = new_state
+
     def _become_operational(self) -> None:
-        self.state = OPERATIONAL
+        self._set_state(OPERATIONAL)
         if not self.ready.done:
             self.ready.set_result(self)
 
     def _fail(self, exc: Exception) -> None:
-        self.state = FAILED
+        self._set_state(FAILED)
         if not self.ready.done:
             self.ready.set_result(None)
         if self.on_error is not None:

@@ -87,7 +87,8 @@ class _DgramSocket:
     def _on_completions(self, wcs) -> None:
         for wc in wcs:
             self._handle_wc(wc)
-        self._drain_arm()
+        if self.qp.state != "ERROR":
+            self._drain_arm()
 
     def _handle_wc(self, wc: WorkCompletion) -> None:
         if wc.opcode is WrOpcode.RDMA_WRITE_RECORD:
@@ -109,8 +110,9 @@ class _DgramSocket:
                 body = bytes(mr.view(1, wc.byte_len - 1))
                 self._dispatch_untagged(kind, body, wc.src)
             # Repost the slot (partial/errored arrivals are simply recycled:
-            # UD loss semantics).
-            self.qp.post_recv(RecvWR(sges=[Sge(mr)], wr_id=id(mr)))
+            # UD loss semantics) — unless the QP flushed it on teardown.
+            if wc.status is not WcStatus.FLUSHED:
+                self.qp.post_recv(RecvWR(sges=[Sge(mr)], wr_id=id(mr)))
 
     def _dispatch_untagged(self, kind: int, body: bytes, src: Address) -> None:
         if kind == _TYPE_DATA:

@@ -18,7 +18,7 @@ from __future__ import annotations
 import itertools
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, Optional
+from typing import TYPE_CHECKING, Any, Deque, Dict, FrozenSet, Optional, Set
 
 from ...memory.region import Access
 from ...simnet.engine import Future
@@ -27,7 +27,7 @@ from ...transport.rudp import RUDP_HEADER, RudpSocket
 from ...transport.udp import UDP_HEADER, UDP_MAX_PAYLOAD
 from ..ddp.headers import (
     CTRL_SIZE, OP_TERMINATE, TAGGED_SIZE, UDEXT_SIZE, UNTAGGED_SIZE,
-    HeaderError, decode_segment,
+    DdpSegment, HeaderError, decode_segment,
 )
 from ..mpa.connection import MpaConnection
 from ..mpa.crc import CRC_SIZE, CrcError, append_crc, split_and_verify
@@ -35,11 +35,32 @@ from ..rdmap.engine import RdmapRx, RdmapTx
 from .cq import CompletionQueue
 from .wr import Address, RecvWR, SendWR, WcStatus, WorkCompletion, WrOpcode
 
-# QP states (the subset of the IB/iWARP state machine the software
-# stack distinguishes).
+if TYPE_CHECKING:
+    from ...transport.sctp import SctpAssociation
+    from .device import RnicDevice
+
+# QP states: the IB/iWARP modify_qp ladder.  The paper keeps standard
+# verbs semantics for datagram QPs (§IV.B item 1), so both QP types
+# honour the same table; UD QPs simply self-transition RESET -> RTS at
+# creation because there is no connection to wait for.
 RESET = "RESET"
+INIT = "INIT"        # queues allocated, receives may be posted
+RTR = "RTR"          # ready to receive
 RTS = "RTS"          # ready to send (and receive)
+SQD = "SQD"          # send-queue drained: posting sends is rejected
 ERROR = "ERROR"
+
+#: Legal transitions, mirrored in ``iwarplint.invariants.QP_TABLE`` —
+#: the iwarplint FSM rule (IW204) flags any drift between the two.
+#: ERROR is reachable from everywhere; RESET recycles a QP.
+QP_TRANSITIONS: Dict[str, FrozenSet[str]] = {
+    RESET: frozenset({INIT, RTS, ERROR}),
+    INIT: frozenset({RTR, RESET, ERROR}),
+    RTR: frozenset({RTS, RESET, ERROR}),
+    RTS: frozenset({SQD, RESET, ERROR}),
+    SQD: frozenset({RTS, RESET, ERROR}),
+    ERROR: frozenset({RESET}),
+}
 
 #: Worst-case DDP header: control + tagged/untagged + UD extension.
 MAX_HEADER = CTRL_SIZE + max(TAGGED_SIZE, UNTAGGED_SIZE) + UDEXT_SIZE
@@ -66,7 +87,9 @@ class QueuePair:
 
     is_datagram = False
 
-    def __init__(self, device, pd: int, sq_cq: CompletionQueue, rq_cq: CompletionQueue):
+    def __init__(
+        self, device: RnicDevice, pd: int, sq_cq: CompletionQueue, rq_cq: CompletionQueue
+    ) -> None:
         self.device = device
         self.host = device.host
         self.sim = device.sim
@@ -80,6 +103,31 @@ class QueuePair:
         self.rx = RdmapRx(self)
         self.ready: Future = self.sim.future()
         self.terminate_reason: Optional[str] = None
+
+    # -- state machine -----------------------------------------------------
+
+    def _set_state(self, new_state: str) -> None:
+        """The only way the QP state may change after construction.
+        Validates the move against :data:`QP_TRANSITIONS`; a same-state
+        "transition" is a no-op, which is what makes teardown paths
+        (``close`` after an error, double ``close``) idempotent."""
+        current = self.state
+        if new_state == current:
+            return
+        if new_state not in QP_TRANSITIONS.get(current, frozenset()):
+            raise QpError(
+                f"illegal QP state transition {current} -> {new_state} "
+                f"on QP {self.qp_num}"
+            )
+        self.state = new_state
+
+    def modify_qp(self, new_state: str) -> None:
+        """Drive the standard verbs ladder (``ibv_modify_qp`` analogue):
+        RESET -> INIT -> RTR -> RTS, RTS <-> SQD to drain/resume the
+        send queue, anything -> ERROR, ERROR -> RESET to recycle."""
+        self._set_state(new_state)
+        if new_state == RESET:
+            self.terminate_reason = None
 
     # -- verbs ------------------------------------------------------------
 
@@ -138,7 +186,7 @@ class QueuePair:
         )
 
     def channel_send(
-        self, seg, dest: Optional[Address], first: bool = True, msg_len: int = 0
+        self, seg: DdpSegment, dest: Optional[Address], first: bool = True, msg_len: int = 0
     ) -> None:
         """Emit one DDP segment.  ``first`` marks the first segment of an
         RDMAP message and ``msg_len`` its total length — used to charge
@@ -171,9 +219,15 @@ class QueuePair:
         self._enter_error(reason)
 
     def _enter_error(self, reason: str) -> None:
-        self.state = ERROR
+        self._set_state(ERROR)
         self.terminate_reason = reason
-        # Flush outstanding receives so pollers see the teardown.
+        self._flush_recv_queue()
+        if not self.ready.done:
+            self.ready.set_result(None)
+
+    def _flush_recv_queue(self) -> None:
+        """Complete every still-posted receive with FLUSHED so pollers
+        observe the teardown instead of waiting forever."""
         while self.rq:
             wr = self.rq.popleft()
             self.rq_cq.push(
@@ -181,7 +235,24 @@ class QueuePair:
                     wr_id=wr.wr_id, opcode=WrOpcode.SEND, status=WcStatus.FLUSHED
                 )
             )
+
+    def _release_channel(self) -> None:
+        """Close the underlying transport channel (idempotent)."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Application teardown: release the channel, error the QP and
+        flush outstanding receive WRs (standard verbs semantics — a
+        destroyed/errored QP completes posted WRs with FLUSHED rather
+        than leaking them).  Idempotent; after an error it only makes
+        sure the channel is really released."""
+        self._release_channel()
+        if self.state == ERROR:
+            return
+        self._set_state(ERROR)
+        self._flush_recv_queue()
         if not self.ready.done:
+            # Nobody will ever connect/complete this QP now.
             self.ready.set_result(None)
 
 
@@ -196,14 +267,14 @@ class UdQp(QueuePair):
 
     def __init__(
         self,
-        device,
+        device: RnicDevice,
         pd: int,
         sq_cq: CompletionQueue,
         rq_cq: CompletionQueue,
         port: Optional[int] = None,
         reliable: bool = False,
-        rd_opts: Optional[dict] = None,
-    ):
+        rd_opts: Optional[Dict[str, Any]] = None,
+    ) -> None:
         super().__init__(device, pd, sq_cq, rq_cq)
         self.reliable = reliable
         udp_sock = device.net.udp.socket(port)
@@ -234,11 +305,12 @@ class UdQp(QueuePair):
         # RD: messages posted but not yet ACKed by the reliability layer,
         # keyed by RDMAP message id; peers declared unreachable.
         self._rd_pending: Dict[int, _RdPendingSend] = {}
-        self.failed_peers = set()
+        self.failed_peers: Set[Address] = set()
         self.crc_drops = 0
         self.drops_closed = 0
         self.rd_flushed_wrs = 0
-        self.state = RTS
+        # No connection to wait for: a datagram QP is usable at creation.
+        self._set_state(RTS)
         self.ready.set_result(self)
 
     @property
@@ -252,7 +324,7 @@ class UdQp(QueuePair):
     # -- transmit ---------------------------------------------------------
 
     def channel_send(
-        self, seg, dest: Optional[Address], first: bool = True, msg_len: int = 0
+        self, seg: DdpSegment, dest: Optional[Address], first: bool = True, msg_len: int = 0
     ) -> None:
         if dest is None:
             raise QpError("UD segment without destination")
@@ -270,7 +342,7 @@ class UdQp(QueuePair):
             # message's segments then pipeline onto the wire.  (RD mode
             # keeps the charged socket path: retransmissions must pay.)
             wire_len = seg.wire_size + CRC_SIZE
-            nfrags = self.device.net.ip.fragments_needed(wire_len + 8)
+            nfrags = self.device.net.ip.fragments_needed(wire_len + UDP_HEADER)
             cost += (
                 costs.syscall_ns
                 + costs.udp_tx_fixed_ns
@@ -279,7 +351,7 @@ class UdQp(QueuePair):
             )
         self.host.cpu.submit(cost, self._emit, seg, dest)
 
-    def _emit(self, seg, dest: Address) -> None:
+    def _emit(self, seg: DdpSegment, dest: Address) -> None:
         if self._udp_sock.closed:
             # The application closed the socket with emissions still
             # queued in the stack: datagram semantics, the data is gone —
@@ -379,9 +451,8 @@ class UdQp(QueuePair):
         cost += int(costs.placement_per_byte_ns * len(seg.payload))
         self.host.cpu.submit(cost, self.rx.on_segment, seg, src)
 
-    def close(self) -> None:
+    def _release_channel(self) -> None:
         self._sock.close()
-        self.state = ERROR
 
 
 class RcQp(QueuePair):
@@ -391,13 +462,13 @@ class RcQp(QueuePair):
 
     def __init__(
         self,
-        device,
+        device: RnicDevice,
         pd: int,
         sq_cq: CompletionQueue,
         rq_cq: CompletionQueue,
         mpa: MpaConnection,
         remote: Address,
-    ):
+    ) -> None:
         super().__init__(device, pd, sq_cq, rq_cq)
         self.mpa = mpa
         self.remote = remote
@@ -406,11 +477,11 @@ class RcQp(QueuePair):
         mpa.on_error = lambda exc: self._enter_error(str(exc))
         mpa.ready.add_callback(self._on_mpa_ready)
 
-    def _on_mpa_ready(self, result) -> None:
+    def _on_mpa_ready(self, result: Optional[object]) -> None:
         if result is None:
             self._enter_error("MPA negotiation failed")
             return
-        self.state = RTS
+        self._set_state(RTS)
         if not self.ready.done:
             self.ready.set_result(self)
 
@@ -421,7 +492,7 @@ class RcQp(QueuePair):
     # -- transmit ---------------------------------------------------------
 
     def channel_send(
-        self, seg, dest: Optional[Address], first: bool = True, msg_len: int = 0
+        self, seg: DdpSegment, dest: Optional[Address], first: bool = True, msg_len: int = 0
     ) -> None:
         costs = self.host.costs
         cost = costs.ddp_tx_per_seg_ns
@@ -434,7 +505,7 @@ class RcQp(QueuePair):
         cost += self.mpa.frame_cost_ns(seg.wire_size)
         self.host.cpu.submit(cost, self._emit, seg)
 
-    def _emit(self, seg) -> None:
+    def _emit(self, seg: DdpSegment) -> None:
         if self.mpa.state != "OPERATIONAL":
             return
         if self.state == ERROR and seg.opcode != OP_TERMINATE:
@@ -468,9 +539,8 @@ class RcQp(QueuePair):
             cost += costs.tcp_rx_syscalls_per_msg * costs.syscall_ns
         self.host.cpu.submit(cost, self.rx.on_segment, seg, self.remote)
 
-    def close(self) -> None:
+    def _release_channel(self) -> None:
         self.mpa.close()
-        self.state = ERROR
 
 
 class RcSctpQp(QueuePair):
@@ -486,13 +556,13 @@ class RcSctpQp(QueuePair):
 
     def __init__(
         self,
-        device,
+        device: RnicDevice,
         pd: int,
         sq_cq: CompletionQueue,
         rq_cq: CompletionQueue,
-        assoc,
+        assoc: SctpAssociation,
         remote: Address,
-    ):
+    ) -> None:
         super().__init__(device, pd, sq_cq, rq_cq)
         self.assoc = assoc
         self.remote = remote
@@ -500,11 +570,11 @@ class RcSctpQp(QueuePair):
         assoc.on_message = self._on_message
         assoc.established.add_callback(self._on_assoc_ready)
 
-    def _on_assoc_ready(self, result) -> None:
+    def _on_assoc_ready(self, result: Optional[object]) -> None:
         if result is None:
             self._enter_error("SCTP association failed")
             return
-        self.state = RTS
+        self._set_state(RTS)
         if not self.ready.done:
             self.ready.set_result(self)
 
@@ -515,7 +585,7 @@ class RcSctpQp(QueuePair):
     # -- transmit ---------------------------------------------------------
 
     def channel_send(
-        self, seg, dest: Optional[Address], first: bool = True, msg_len: int = 0
+        self, seg: DdpSegment, dest: Optional[Address], first: bool = True, msg_len: int = 0
     ) -> None:
         costs = self.host.costs
         cost = costs.ddp_tx_per_seg_ns
@@ -525,7 +595,7 @@ class RcSctpQp(QueuePair):
             cost += costs.syscall_ns + costs.tcp_tx_fixed_ns + costs.copy_ns(msg_len)
         self.host.cpu.submit(cost, self._emit, seg)
 
-    def _emit(self, seg) -> None:
+    def _emit(self, seg: DdpSegment) -> None:
         if self.assoc.state == "CLOSED":
             return
         if self.state == ERROR and seg.opcode != OP_TERMINATE:
@@ -555,6 +625,5 @@ class RcSctpQp(QueuePair):
             cost += costs.tcp_rx_syscalls_per_msg * costs.syscall_ns
         self.host.cpu.submit(cost, self.rx.on_segment, seg, self.remote)
 
-    def close(self) -> None:
+    def _release_channel(self) -> None:
         self.assoc.shutdown()
-        self.state = ERROR

@@ -28,7 +28,7 @@ from __future__ import annotations
 import itertools
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Deque, Dict, List, Optional, Tuple
+from typing import Callable, Deque, Dict, FrozenSet, List, Optional, Tuple
 
 from ..simnet.engine import Future, Simulator
 from ..simnet.host import Host
@@ -60,6 +60,19 @@ COOKIE_WAIT = "COOKIE_WAIT"
 COOKIE_ECHOED = "COOKIE_ECHOED"
 ESTABLISHED = "ESTABLISHED"
 SHUTDOWN_SENT = "SHUTDOWN_SENT"
+
+#: Legal transitions (RFC 4960 four-way handshake subset).  A passive
+#: endpoint keeps no TCB before a valid COOKIE ECHO, so it legitimately
+#: jumps CLOSED -> ESTABLISHED; COOKIE_WAIT -> ESTABLISHED covers INIT
+#: collisions.  CLOSED is additionally reachable from every state via
+#: ABORT.  Mirrored in ``iwarplint.invariants.SCTP_TABLE`` (IW204).
+SCTP_TRANSITIONS: Dict[str, FrozenSet[str]] = {
+    CLOSED: frozenset({COOKIE_WAIT, ESTABLISHED}),
+    COOKIE_WAIT: frozenset({COOKIE_ECHOED, ESTABLISHED, CLOSED}),
+    COOKIE_ECHOED: frozenset({ESTABLISHED, CLOSED}),
+    ESTABLISHED: frozenset({SHUTDOWN_SENT, CLOSED}),
+    SHUTDOWN_SENT: frozenset({CLOSED}),
+}
 
 
 class SctpError(Exception):
@@ -130,10 +143,23 @@ class SctpAssociation:
     # Establishment (INIT -> INIT-ACK -> COOKIE-ECHO -> COOKIE-ACK)
     # ------------------------------------------------------------------
 
+    def _set_state(self, new_state: str) -> None:
+        """Sole state mutator after construction; validates the move
+        against :data:`SCTP_TRANSITIONS` (same-state is a no-op)."""
+        current = self.state
+        if new_state == current:
+            return
+        if new_state not in SCTP_TRANSITIONS.get(current, frozenset()):
+            raise SctpError(
+                f"illegal SCTP state transition {current} -> {new_state} "
+                f"({self.local_port}<->{self.remote})"
+            )
+        self.state = new_state
+
     def open_active(self) -> Future:
         if self.state != CLOSED:
             raise SctpError(f"open_active in state {self.state}")
-        self.state = COOKIE_WAIT
+        self._set_state(COOKIE_WAIT)
         self._send_chunk(SctpChunk(kind=CH_INIT, src_port=self.local_port,
                                    dst_port=self.remote[1]))
         self._arm_rtx()
@@ -149,7 +175,7 @@ class SctpAssociation:
     def _on_init_ack(self, chunk: SctpChunk) -> None:
         if self.state != COOKIE_WAIT:
             return
-        self.state = COOKIE_ECHOED
+        self._set_state(COOKIE_ECHOED)
         self._cookie = chunk.cookie
         self._send_chunk(SctpChunk(kind=CH_COOKIE_ECHO, src_port=self.local_port,
                                    dst_port=self.remote[1], cookie=chunk.cookie))
@@ -159,7 +185,7 @@ class SctpAssociation:
         if not self.stack.validate_cookie(self.remote, chunk.cookie):
             return
         if self.state in (CLOSED, COOKIE_WAIT):
-            self.state = ESTABLISHED
+            self._set_state(ESTABLISHED)
             if not self.established.done:
                 self.established.set_result(self)
         self._send_chunk(SctpChunk(kind=CH_COOKIE_ACK, src_port=self.local_port,
@@ -167,7 +193,7 @@ class SctpAssociation:
 
     def _on_cookie_ack(self, chunk: SctpChunk) -> None:
         if self.state == COOKIE_ECHOED:
-            self.state = ESTABLISHED
+            self._set_state(ESTABLISHED)
             self._cancel_rtx()
             if not self.established.done:
                 self.established.set_result(self)
@@ -328,7 +354,7 @@ class SctpAssociation:
         if self.state != ESTABLISHED:
             self._become_closed()
             return
-        self.state = SHUTDOWN_SENT
+        self._set_state(SHUTDOWN_SENT)
         self._send_chunk(SctpChunk(kind=CH_SHUTDOWN, src_port=self.local_port,
                                    dst_port=self.remote[1], cum_ack=self._cum_tsn))
 
@@ -349,7 +375,7 @@ class SctpAssociation:
     def _become_closed(self) -> None:
         if self.state == CLOSED:
             return
-        self.state = CLOSED
+        self._set_state(CLOSED)
         self._cancel_rtx()
         self.stack.forget(self)
         if not self.established.done:

@@ -18,7 +18,7 @@ move far less than 2**63 bytes, and the arithmetic stays honest.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, FrozenSet, Optional, Tuple
 
 from ...simnet.engine import Future, Simulator
 from .congestion import RenoCongestion
@@ -36,6 +36,22 @@ CLOSE_WAIT = "CLOSE_WAIT"
 LAST_ACK = "LAST_ACK"
 CLOSING = "CLOSING"
 TIME_WAIT = "TIME_WAIT"
+
+#: Legal transitions (RFC 793 figure 6 subset; CLOSED is additionally
+#: reachable from every state via RST/abort).  Mirrored in
+#: ``iwarplint.invariants.TCP_TABLE``; drift is flagged (IW204).
+TCP_TRANSITIONS: Dict[str, FrozenSet[str]] = {
+    CLOSED: frozenset({SYN_SENT, SYN_RCVD}),
+    SYN_SENT: frozenset({ESTABLISHED, CLOSED}),
+    SYN_RCVD: frozenset({ESTABLISHED, FIN_WAIT_1, CLOSED}),
+    ESTABLISHED: frozenset({FIN_WAIT_1, CLOSE_WAIT, CLOSED}),
+    FIN_WAIT_1: frozenset({FIN_WAIT_2, CLOSING, TIME_WAIT, CLOSED}),
+    FIN_WAIT_2: frozenset({TIME_WAIT, CLOSED}),
+    CLOSE_WAIT: frozenset({LAST_ACK, CLOSED}),
+    LAST_ACK: frozenset({CLOSED}),
+    CLOSING: frozenset({TIME_WAIT, CLOSED}),
+    TIME_WAIT: frozenset({CLOSED}),
+}
 
 
 class TcpError(Exception):
@@ -88,6 +104,7 @@ class TcpConnection:
         self.rcv_nxt = 0
         self.rcvbuf_bytes = rcvbuf_bytes
         self._ooo: Dict[int, bytes] = {}   # seq -> payload (out of order)
+        self._ooo_fin: Optional[int] = None  # seq of a FIN parked beyond a gap
         self._segs_since_ack = 0
         self._remote_fin = False
 
@@ -105,13 +122,30 @@ class TcpConnection:
         self.retransmissions = 0
 
     # ------------------------------------------------------------------
+    # State machine
+    # ------------------------------------------------------------------
+
+    def _set_state(self, new_state: str) -> None:
+        """Sole state mutator after construction; validates the move
+        against :data:`TCP_TRANSITIONS` (same-state is a no-op)."""
+        current = self.state
+        if new_state == current:
+            return
+        if new_state not in TCP_TRANSITIONS.get(current, frozenset()):
+            raise TcpError(
+                f"illegal TCP state transition {current} -> {new_state} "
+                f"({self.local_port}<->{self.remote})"
+            )
+        self.state = new_state
+
+    # ------------------------------------------------------------------
     # Opening
     # ------------------------------------------------------------------
 
     def open_active(self) -> Future:
         if self.state != CLOSED:
             raise TcpError(f"open_active in state {self.state}")
-        self.state = SYN_SENT
+        self._set_state(SYN_SENT)
         self._transmit(self.iss, SYN, b"")
         self.snd_nxt = self.iss + 1
         self.snd_max = self.iss + 1
@@ -123,7 +157,7 @@ class TcpConnection:
         stack, which created this connection object for it)."""
         self.irs = syn.seq
         self.rcv_nxt = syn.seq + 1
-        self.state = SYN_RCVD
+        self._set_state(SYN_RCVD)
         self._transmit(self.iss, SYN | ACK, b"")
         self.snd_nxt = self.iss + 1
         self.snd_max = self.iss + 1
@@ -211,9 +245,9 @@ class TcpConnection:
             self.snd_max = max(self.snd_max, self.snd_nxt)
             self._fin_sent = True
             if self.state == ESTABLISHED:
-                self.state = FIN_WAIT_1
+                self._set_state(FIN_WAIT_1)
             elif self.state == CLOSE_WAIT:
-                self.state = LAST_ACK
+                self._set_state(LAST_ACK)
             self._arm_rtx()
 
     def _transmit(self, seq: int, flags: int, payload: bytes) -> None:
@@ -364,7 +398,7 @@ class TcpConnection:
         self.snd_una = seg.ack_seq
         self.peer_window = seg.window
         self._cancel_rtx()
-        self.state = ESTABLISHED
+        self._set_state(ESTABLISHED)
         self._send_ack()
         if not self.established.done:
             self.established.set_result(self)
@@ -422,12 +456,12 @@ class TcpConnection:
 
     def _handshake_and_fin_acks(self) -> None:
         if self.state == SYN_RCVD and self.snd_una >= self.iss + 1:
-            self.state = ESTABLISHED
+            self._set_state(ESTABLISHED)
             if not self.established.done:
                 self.established.set_result(self)
         if self._fin_sent and self._fin_seq is not None and self.snd_una > self._fin_seq:
             if self.state == FIN_WAIT_1:
-                self.state = FIN_WAIT_2
+                self._set_state(FIN_WAIT_2)
             elif self.state == CLOSING:
                 self._enter_time_wait()
             elif self.state == LAST_ACK:
@@ -453,7 +487,7 @@ class TcpConnection:
             if payload and seq not in self._ooo:
                 self._ooo[seq] = payload
             if fin:
-                self._ooo.setdefault(("FIN", seq + len(payload)), b"")  # type: ignore[arg-type]
+                self._ooo_fin = seq + len(payload)
             self._send_ack()  # duplicate ACK for the gap
         else:
             # Old/overlapping data: re-ack so the sender advances.
@@ -470,9 +504,8 @@ class TcpConnection:
         while True:
             payload = self._ooo.pop(self.rcv_nxt, None)
             if payload is None:
-                fin_key = ("FIN", self.rcv_nxt)
-                if fin_key in self._ooo:
-                    self._ooo.pop(fin_key)
+                if self._ooo_fin == self.rcv_nxt:
+                    self._ooo_fin = None
                     self._remote_fin = True
                     self.rcv_nxt += 1
                     self._on_remote_fin()
@@ -489,16 +522,16 @@ class TcpConnection:
 
     def _on_remote_fin(self) -> None:
         if self.state == ESTABLISHED:
-            self.state = CLOSE_WAIT
+            self._set_state(CLOSE_WAIT)
         elif self.state == FIN_WAIT_1:
-            self.state = CLOSING
+            self._set_state(CLOSING)
         elif self.state == FIN_WAIT_2:
             self._enter_time_wait()
         if self.on_close is not None:
             self.on_close()
 
     def _enter_time_wait(self) -> None:
-        self.state = TIME_WAIT
+        self._set_state(TIME_WAIT)
         self._send_ack()
         # 2*MSL shortened: long enough to ack a retransmitted FIN in-sim.
         self.sim.schedule(50_000_000, self._become_closed)
@@ -506,7 +539,7 @@ class TcpConnection:
     def _become_closed(self, error: bool = False) -> None:
         if self.state == CLOSED:
             return
-        self.state = CLOSED
+        self._set_state(CLOSED)
         self._cancel_rtx()
         self._cancel_delayed_ack()
         self.stack.forget(self)
