@@ -374,7 +374,12 @@ class RudpSocket:
         newly_acked = sorted(s for s in tx.unacked if s < ack_seq)
         if newly_acked:
             self._on_ack_progress(src, tx, ack_seq, newly_acked)
-        elif ack_seq <= tx.ack_floor and tx.unacked:
+        elif ack_seq == tx.ack_floor and tx.unacked:
+            # A duplicate ACK is a re-assertion of the *current*
+            # cumulative point (RFC 5681); a stale ACK reordered from
+            # before the window advanced (ack_seq < floor) says nothing
+            # about the current hole and must not count toward fast
+            # retransmit.
             self._on_dup_ack(src, tx, ack_seq)
         self._pump(src, tx)
 

@@ -249,6 +249,43 @@ def test_fixed_mode_recovers_by_timeout_only(zero_testbed):
     assert a.current_rto_ns((1, 6000)) == 2 * MS  # never adapts
 
 
+def _ack_packet(ack_seq, echo=0):
+    """A wire-format RUDP ACK as the receiver would emit it."""
+    import struct
+
+    from repro.transport.rudp import KIND_ACK
+
+    return struct.pack("!BQ", KIND_ACK, ack_seq) + struct.pack("!Q", echo)
+
+
+def test_stale_reordered_acks_do_not_trigger_fast_retransmit(zero_testbed):
+    # Regression: dup-ACK counting must only count re-assertions of the
+    # *current* cumulative point (RFC 5681).  A stale ACK reordered from
+    # before the window advanced says nothing about the current hole;
+    # counting it used to fire a spurious fast retransmit after a single
+    # genuine duplicate.
+    tb = zero_testbed
+    addr = (1, 7000)
+    a = _host_socket(tb, 0, 6000, rto_ns=500 * MS, min_rto_ns=500 * MS)
+    for i in range(5):
+        a.sendto(f"m{i}".encode(), addr)  # seqs 1..5 in flight
+    # Cumulative ACK 4: seqs 1-3 delivered, hole at 4 (5 arrived beyond it).
+    a._on_datagram(_ack_packet(4), addr)
+    assert a.unacked_messages(addr) == 2
+    # Two stale ACKs from before the window advanced arrive late ...
+    a._on_datagram(_ack_packet(2), addr)
+    a._on_datagram(_ack_packet(3), addr)
+    # ... then ONE genuine duplicate of the current cumulative point.
+    a._on_datagram(_ack_packet(4), addr)
+    assert a.fast_retransmits == 0  # one real dup is not evidence of loss
+    assert a.retransmissions == 0
+    # Three genuine duplicates ARE evidence of loss: the fast path still fires.
+    a._on_datagram(_ack_packet(4), addr)
+    a._on_datagram(_ack_packet(4), addr)
+    assert a.fast_retransmits == 1
+    assert a.retransmissions == 1
+
+
 def test_backoff_spaces_retries_to_dead_peer(zero_testbed):
     # Only host 0 has a stack; the peer simply doesn't exist.
     sock = _host_socket(zero_testbed, 0, rto_ns=1 * MS, max_retries=5)
