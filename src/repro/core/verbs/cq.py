@@ -13,9 +13,13 @@ the operation it was waiting for was lost.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List, Optional
+from typing import TYPE_CHECKING, Any, Callable, Deque, Dict, List, Optional
 
 from ...simnet.engine import Future, Simulator
+
+if TYPE_CHECKING:
+    from ...simnet.host import Host
+    from .wr import WorkCompletion
 
 
 class CqError(Exception):
@@ -25,19 +29,20 @@ class CqError(Exception):
 class CompletionQueue:
     """FIFO of work completions shared by any number of QPs."""
 
-    def __init__(self, sim: Simulator, host, depth: int = 4096):
+    def __init__(self, sim: Simulator, host: Optional[Host], depth: int = 4096):
         if depth < 1:
             raise CqError(f"CQ depth must be positive, got {depth}")
         self.sim = sim
         self.host = host
         self.depth = depth
-        self._entries: Deque = deque()
-        self._waiters: Deque[dict] = deque()
+        self._entries: Deque[WorkCompletion] = deque()
+        self._waiters: Deque[Dict[str, Any]] = deque()
         self.overflows = 0
         self.completions_total = 0
         # Event notification (ibv_req_notify_cq-style): None = disarmed.
         self._armed: Optional[str] = None
-        self.on_event = None            # callback(cq) fired when armed + match
+        #: Callback fired (via the event queue) when armed and matched.
+        self.on_event: Optional[Callable[[CompletionQueue], None]] = None
         self.events_raised = 0
 
     # -- event notification ------------------------------------------------
@@ -52,7 +57,7 @@ class CompletionQueue:
         ``on_event`` and disarms."""
         self._armed = self.ARM_SOLICITED if solicited_only else self.ARM_NEXT
 
-    def _maybe_raise_event(self, wc) -> None:
+    def _maybe_raise_event(self, wc: WorkCompletion) -> None:
         if self._armed is None:
             return
         if self._armed == self.ARM_SOLICITED and not getattr(wc, "solicited", False):
@@ -66,7 +71,7 @@ class CompletionQueue:
 
     # -- producer side (the stack) ------------------------------------------
 
-    def push(self, wc) -> None:
+    def push(self, wc: WorkCompletion) -> None:
         """Add a completion (charges CQE-generation cost upstream)."""
         self.completions_total += 1
         self._maybe_raise_event(wc)
@@ -88,10 +93,10 @@ class CompletionQueue:
 
     # -- consumer side (the application) ----------------------------------------
 
-    def poll(self, max_entries: int = 1) -> List:
+    def poll(self, max_entries: int = 1) -> List[WorkCompletion]:
         """Non-blocking poll: up to ``max_entries`` completions, possibly
         none."""
-        out = []
+        out: List[WorkCompletion] = []
         while self._entries and len(out) < max_entries:
             out.append(self._entries.popleft())
         if out:
@@ -107,13 +112,13 @@ class CompletionQueue:
         if ready:
             fut.set_result(ready)
             return fut
-        waiter = {"future": fut, "timer": None}
+        waiter: Dict[str, Any] = {"future": fut, "timer": None}
         if timeout_ns is not None:
             waiter["timer"] = self.sim.schedule(timeout_ns, self._expire, waiter)
         self._waiters.append(waiter)
         return fut
 
-    def _expire(self, waiter: dict) -> None:
+    def _expire(self, waiter: Dict[str, Any]) -> None:
         if not waiter["future"].done:
             waiter["future"].set_result([])
 

@@ -15,7 +15,7 @@ full TCP + MPA handshake.
 from __future__ import annotations
 
 import itertools
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Union
 
 from ...memory.region import Access, MemoryRegion
 from ...memory.registry import StagRegistry
@@ -23,8 +23,12 @@ from ...simnet.engine import Future, Simulator
 from ...transport.stacks import NetStack
 from ..mpa.connection import MpaConnection
 from .cq import CompletionQueue
-from .qp import RcQp, RcSctpQp, UdQp
+from .qp import QueuePair, RcQp, RcSctpQp, UdQp
 from .wr import Address
+
+if TYPE_CHECKING:
+    from ...transport.sctp import SctpAssociation
+    from ...transport.tcp.socket import TcpSocket
 
 #: Default maximum ULPDU on the RC path: sized so one DDP segment plus
 #: MPA framing and markers fits a standard-MTU TCP segment (RFC 5044's
@@ -48,7 +52,7 @@ class RnicDevice:
         self.rc_mulpdu = rc_mulpdu
         self.registry = StagRegistry()
         self._pds = itertools.count(1)
-        self._listeners = {}
+        self._listeners: Dict[int, Union[RcListener, RcSctpListener]] = {}
 
     # -- protection domains & memory -----------------------------------------
 
@@ -57,7 +61,7 @@ class RnicDevice:
 
     def reg_mr(
         self,
-        buffer,
+        buffer: Union[int, bytes, bytearray],
         access: Access = Access.local_only(),
         pd: int = 0,
     ) -> MemoryRegion:
@@ -86,7 +90,7 @@ class RnicDevice:
         rq_cq: Optional[CompletionQueue] = None,
         port: Optional[int] = None,
         reliable: bool = False,
-        rd_opts: Optional[dict] = None,
+        rd_opts: Optional[Dict[str, Any]] = None,
     ) -> UdQp:
         """The new datagram-QP initialization verb.  Ready immediately —
         no connection setup, no wire traffic.  ``rd_opts`` (RD mode only)
@@ -109,7 +113,7 @@ class RnicDevice:
         markers: bool = True,
         crc: bool = True,
         transport: str = "tcp",
-    ) -> "QueuePair":
+    ) -> QueuePair:
         """Active side.  ``transport="tcp"`` (the default): TCP connect +
         MPA negotiation.  ``transport="sctp"``: an SCTP association —
         message boundaries make the whole MPA layer unnecessary
@@ -133,7 +137,8 @@ class RnicDevice:
         markers: bool = True,
         crc: bool = True,
         transport: str = "tcp",
-    ) -> "RcListener":
+    ) -> Union["RcListener", "RcSctpListener"]:
+        listener: Union[RcListener, RcSctpListener]
         if transport == "sctp":
             listener = RcSctpListener(self, port, pd, sq_cq_factory, on_qp)
         elif transport == "tcp":
@@ -165,18 +170,18 @@ class RcListener:
         self.on_qp = on_qp
         self.markers = markers
         self.crc = crc
-        self._pending = []
-        self._waiters = []
+        self._pending: List[RcQp] = []
+        self._waiters: List[Future] = []
         self._tcp_listener = device.net.tcp.listen(port)
         self._tcp_listener.on_accept = self._on_tcp_accept
 
-    def _on_tcp_accept(self, sock) -> None:
+    def _on_tcp_accept(self, sock: TcpSocket) -> None:
         mpa = MpaConnection(sock, initiator=False, markers=self.markers, crc=self.crc)
         cq = self.cq_factory()
         qp = RcQp(self.device, self.pd, cq, cq, mpa, sock.remote)
         qp.ready.add_callback(lambda result: self._on_qp_ready(qp, result))
 
-    def _on_qp_ready(self, qp: RcQp, result) -> None:
+    def _on_qp_ready(self, qp: RcQp, result: Optional[object]) -> None:
         if result is None:
             return
         if self.on_qp is not None:
@@ -208,24 +213,24 @@ class RcSctpListener:
         port: int,
         pd: int,
         cq_factory: Callable[[], CompletionQueue],
-        on_qp: Optional[Callable] = None,
+        on_qp: Optional[Callable[[RcSctpQp], None]] = None,
     ):
         self.device = device
         self.port = port
         self.pd = pd
         self.cq_factory = cq_factory
         self.on_qp = on_qp
-        self._pending = []
-        self._waiters = []
+        self._pending: List[RcSctpQp] = []
+        self._waiters: List[Future] = []
         self._sctp_listener = device.net.sctp.listen(port)
         self._sctp_listener.on_accept = self._on_assoc
 
-    def _on_assoc(self, assoc) -> None:
+    def _on_assoc(self, assoc: SctpAssociation) -> None:
         cq = self.cq_factory()
         qp = RcSctpQp(self.device, self.pd, cq, cq, assoc, assoc.remote)
         qp.ready.add_callback(lambda result: self._on_qp_ready(qp, result))
 
-    def _on_qp_ready(self, qp, result) -> None:
+    def _on_qp_ready(self, qp: RcSctpQp, result: Optional[object]) -> None:
         if result is None:
             return
         if self.on_qp is not None:

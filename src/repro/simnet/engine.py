@@ -45,7 +45,7 @@ class Event:
 
     __slots__ = ("time", "seq", "fn", "args", "cancelled")
 
-    def __init__(self, time: int, seq: int, fn: Callable, args: tuple):
+    def __init__(self, time: int, seq: int, fn: Callable[..., None], args: tuple):
         self.time = time
         self.seq = seq
         self.fn = fn
@@ -134,7 +134,7 @@ class Process:
     :attr:`finished` becomes a resolved :class:`Future`.
     """
 
-    def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
+    def __init__(self, sim: "Simulator", gen: Generator[Any, Any, Any], name: str = ""):
         self.sim = sim
         self.gen = gen
         self.name = name or getattr(gen, "__name__", "process")
@@ -195,13 +195,13 @@ class Simulator:
 
     # -- scheduling ------------------------------------------------------
 
-    def schedule(self, delay_ns: int, fn: Callable, *args: Any) -> Event:
+    def schedule(self, delay_ns: int, fn: Callable[..., None], *args: Any) -> Event:
         """Run ``fn(*args)`` ``delay_ns`` nanoseconds from now."""
         if delay_ns < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay_ns})")
         return self.at(self.now + int(delay_ns), fn, *args)
 
-    def at(self, time_ns: int, fn: Callable, *args: Any) -> Event:
+    def at(self, time_ns: int, fn: Callable[..., None], *args: Any) -> Event:
         """Run ``fn(*args)`` at absolute simulated time ``time_ns``."""
         if time_ns < self.now:
             raise SimulationError(
@@ -220,7 +220,7 @@ class Simulator:
     def future(self) -> Future:
         return Future(self)
 
-    def process(self, gen: Generator, name: str = "") -> Process:
+    def process(self, gen: Generator[Any, Any, Any], name: str = "") -> Process:
         return Process(self, gen, name)
 
     def any_of(self, futures: Iterable[Future]) -> AnyOf:
