@@ -1,0 +1,11 @@
+PYTHON ?= python
+
+.PHONY: lint test check
+
+lint:
+	bash scripts/check.sh
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+check: lint test
