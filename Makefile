@@ -1,6 +1,7 @@
 PYTHON ?= python
+ARTIFACTS ?= artifacts
 
-.PHONY: lint test check
+.PHONY: lint test check verify-fsm
 
 lint:
 	bash scripts/check.sh
@@ -9,3 +10,15 @@ test:
 	$(PYTHON) -m pytest -x -q
 
 check: lint test
+
+# Full FSM pipeline: model-check the four machines + the RC product,
+# run the suite under the transition-coverage sanitizer, then gate the
+# recording against the declared tables (waivers in
+# tools/iwarpcheck/waivers.txt). Reports land in $(ARTIFACTS)/.
+verify-fsm:
+	mkdir -p $(ARTIFACTS)
+	$(PYTHON) -m iwarpcheck check --output $(ARTIFACTS)/model-check.json
+	IWARP_FSM_COVERAGE=$(ARTIFACTS)/fsm-records.json PYTHONPATH=src \
+		$(PYTHON) -m pytest -q
+	$(PYTHON) -m iwarpcheck coverage $(ARTIFACTS)/fsm-records.json \
+		--output $(ARTIFACTS)/coverage-report.json

@@ -11,8 +11,12 @@ import os
 import sys
 
 _TOOLS = os.path.join(os.path.dirname(os.path.abspath(__file__)), "tools")
-if _TOOLS not in sys.path:
-    sys.path.insert(0, _TOOLS)
+# Force tools/ to the FRONT: if it sits behind the repo root (pytest
+# prepends the rootdir during collection), the re-import below would
+# find this shim again and recurse instead of the real package.
+if _TOOLS in sys.path:
+    sys.path.remove(_TOOLS)
+sys.path.insert(0, _TOOLS)
 sys.modules.pop("iwarplint", None)
 
 from iwarplint.cli import main  # noqa: E402

@@ -1,10 +1,10 @@
 #!/usr/bin/env bash
-# Static-analysis gate: ruff + mypy + iwarplint.
+# Static-analysis gate: ruff + mypy + iwarplint + iwarpcheck.
 #
-# iwarplint is stdlib-only and always runs. ruff and mypy run when
-# installed (pip install -e '.[dev]') and are skipped with a notice
-# otherwise, so the gate works in minimal containers too. Exit is
-# nonzero if any tool that ran found a problem.
+# iwarplint and iwarpcheck are stdlib-only and always run. ruff and
+# mypy run when installed (pip install -e '.[dev]') and are skipped
+# with a notice otherwise, so the gate works in minimal containers too.
+# Exit is nonzero if any tool that ran found a problem.
 
 set -u
 cd "$(dirname "$0")/.."
@@ -29,5 +29,7 @@ else
 fi
 
 run python -m iwarplint src/
+
+run python -m iwarpcheck
 
 exit "$failed"

@@ -1,0 +1,80 @@
+"""Shared FSM transition core: one validator, one observation point.
+
+The four guarded state machines in the stack (QP ladder, TCP
+connection, MPA negotiation, SCTP association) all follow the same
+discipline: a module-level transition table, a single ``_set_state``
+mutator, same-state writes as no-ops (that is what makes teardown paths
+idempotent), and a machine-specific exception on an illegal move.
+Those four validators used to be copy-pasted; :func:`transition` is the
+one shared implementation.
+
+Funnelling every state change through one call site also creates the
+hook the runtime transition-coverage sanitizer needs
+(``tools/iwarpcheck``): an observer registered here sees the complete
+``(machine, from_state, to_state)`` stream of a run, which the test
+suite records and checks against the declared tables — every runtime
+transition must be declared, and every declared transition must be
+exercised (or explicitly waived).
+
+Observers must be cheap and must not raise: they run synchronously
+inside protocol event handlers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, FrozenSet, List, Mapping, Protocol
+
+#: ``observer(machine, from_state, to_state)`` — called after the write,
+#: only for real moves (same-state no-ops are invisible, matching the
+#: declared tables, which do not contain self-loops).
+TransitionObserver = Callable[[str, str, str], None]
+
+_observers: List[TransitionObserver] = []
+
+
+class Stateful(Protocol):
+    """Anything carrying a guarded ``state`` attribute."""
+
+    state: str
+
+
+def add_transition_observer(observer: TransitionObserver) -> None:
+    """Register ``observer`` for every subsequent state transition."""
+    if observer not in _observers:
+        _observers.append(observer)
+
+
+def remove_transition_observer(observer: TransitionObserver) -> None:
+    """Deregister ``observer`` (a no-op if it is not registered)."""
+    try:
+        _observers.remove(observer)
+    except ValueError:
+        pass
+
+
+def transition(
+    machine: Stateful,
+    name: str,
+    table: Mapping[str, FrozenSet[str]],
+    new_state: str,
+    error: Callable[[str], Exception],
+    detail: str = "",
+) -> bool:
+    """Validated state change: the body of every ``_set_state``.
+
+    A same-state "transition" is a no-op returning False.  An undeclared
+    move raises ``error(message)`` with the machine's own exception type
+    and leaves the state untouched.  A declared move writes the state,
+    notifies registered observers, and returns True.
+    """
+    current = machine.state
+    if new_state == current:
+        return False
+    if new_state not in table.get(current, frozenset()):
+        raise error(
+            f"illegal {name} state transition {current} -> {new_state}{detail}"
+        )
+    machine.state = new_state
+    for observer in tuple(_observers):
+        observer(name, current, new_state)
+    return True

@@ -14,8 +14,9 @@ syscalls — everything §IV.A argues datagram-iWARP avoids.
 from __future__ import annotations
 
 import struct
-from typing import Callable, Dict, FrozenSet, Optional
+from typing import Callable, Dict, FrozenSet, Optional, Tuple
 
+from ..fsm import transition as _fsm_transition
 from ...simnet.engine import Future
 from ...transport.tcp.socket import TcpSocket
 from .crc import CrcError
@@ -41,6 +42,20 @@ MPA_TRANSITIONS: "Dict[str, FrozenSet[str]]" = {
     NEGOTIATING: frozenset({OPERATIONAL, FAILED}),
     OPERATIONAL: frozenset({FAILED}),
     FAILED: frozenset(),
+}
+
+#: Event-labelled view: ``(state, event) -> state``.  Model-checked by
+#: ``tools/iwarpcheck`` against :data:`MPA_TRANSITIONS` (projection
+#: equality).  ``neg_reject`` covers every negotiation failure (bad
+#: magic, capability mismatch, unexpected type); ``crc_mismatch`` is a
+#: corrupted FPDU on an operational stream, ``stream_error`` any other
+#: fatal stream condition.  FAILED is terminal: an MPA stream is never
+#: revived, the ULP tears the QP down instead.
+MPA_EVENT_TRANSITIONS: "Dict[Tuple[str, str], str]" = {
+    (NEGOTIATING, "neg_complete"): OPERATIONAL,
+    (NEGOTIATING, "neg_reject"): FAILED,
+    (OPERATIONAL, "crc_mismatch"): FAILED,
+    (OPERATIONAL, "stream_error"): FAILED,
 }
 
 
@@ -113,13 +128,9 @@ class MpaConnection:
 
     def _set_state(self, new_state: str) -> None:
         """Sole state mutator after construction; validates the move
-        against :data:`MPA_TRANSITIONS` (same-state is a no-op)."""
-        current = self.state
-        if new_state == current:
-            return
-        if new_state not in MPA_TRANSITIONS.get(current, frozenset()):
-            raise MpaError(f"illegal MPA state transition {current} -> {new_state}")
-        self.state = new_state
+        against :data:`MPA_TRANSITIONS` via the shared
+        :func:`repro.core.fsm.transition` helper (same-state is a no-op)."""
+        _fsm_transition(self, "MPA", MPA_TRANSITIONS, new_state, MpaError)
 
     def _become_operational(self) -> None:
         self._set_state(OPERATIONAL)

@@ -18,7 +18,9 @@ from __future__ import annotations
 import itertools
 from collections import deque
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Deque, Dict, FrozenSet, Optional, Set
+from typing import TYPE_CHECKING, Any, Deque, Dict, FrozenSet, Optional, Set, Tuple
+
+from ..fsm import transition as _fsm_transition
 
 from ...memory.region import Access
 from ...simnet.engine import Future
@@ -60,6 +62,34 @@ QP_TRANSITIONS: Dict[str, FrozenSet[str]] = {
     RTS: frozenset({SQD, RESET, ERROR}),
     SQD: frozenset({RTS, RESET, ERROR}),
     ERROR: frozenset({RESET}),
+}
+
+#: Event-labelled view of the same machine: ``(state, event) -> state``.
+#: ``tools/iwarpcheck`` model-checks this table (reachability, liveness,
+#: dead transitions) and verifies that its projection onto (from, to)
+#: pairs equals :data:`QP_TRANSITIONS` exactly, so the two views cannot
+#: drift.  ``connect_ready`` covers the three creation paths that jump
+#: RESET -> RTS (UD creation, MPA negotiation, SCTP association);
+#: ``terminate`` covers both local fatal errors and a peer TERMINATE.
+QP_EVENT_TRANSITIONS: Dict[Tuple[str, str], str] = {
+    (RESET, "modify_qp"): INIT,
+    (RESET, "connect_ready"): RTS,
+    (RESET, "close"): ERROR,
+    (INIT, "modify_qp"): RTR,
+    (INIT, "recycle"): RESET,
+    (INIT, "close"): ERROR,
+    (RTR, "modify_qp"): RTS,
+    (RTR, "recycle"): RESET,
+    (RTR, "close"): ERROR,
+    (RTS, "sq_drain"): SQD,
+    (RTS, "recycle"): RESET,
+    (RTS, "terminate"): ERROR,
+    (RTS, "close"): ERROR,
+    (SQD, "sq_resume"): RTS,
+    (SQD, "recycle"): RESET,
+    (SQD, "terminate"): ERROR,
+    (SQD, "close"): ERROR,
+    (ERROR, "recycle"): RESET,
 }
 
 #: Worst-case DDP header: control + tagged/untagged + UD extension.
@@ -108,18 +138,14 @@ class QueuePair:
 
     def _set_state(self, new_state: str) -> None:
         """The only way the QP state may change after construction.
-        Validates the move against :data:`QP_TRANSITIONS`; a same-state
+        Validates the move against :data:`QP_TRANSITIONS` via the shared
+        :func:`repro.core.fsm.transition` helper; a same-state
         "transition" is a no-op, which is what makes teardown paths
         (``close`` after an error, double ``close``) idempotent."""
-        current = self.state
-        if new_state == current:
-            return
-        if new_state not in QP_TRANSITIONS.get(current, frozenset()):
-            raise QpError(
-                f"illegal QP state transition {current} -> {new_state} "
-                f"on QP {self.qp_num}"
-            )
-        self.state = new_state
+        _fsm_transition(
+            self, "QP", QP_TRANSITIONS, new_state, QpError,
+            f" on QP {self.qp_num}",
+        )
 
     def modify_qp(self, new_state: str) -> None:
         """Drive the standard verbs ladder (``ibv_modify_qp`` analogue):

@@ -30,6 +30,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, FrozenSet, List, Optional, Tuple
 
+from ..core.fsm import transition as _fsm_transition
 from ..simnet.engine import Future, Simulator
 from ..simnet.host import Host
 from .ip import IpStack
@@ -72,6 +73,27 @@ SCTP_TRANSITIONS: Dict[str, FrozenSet[str]] = {
     COOKIE_ECHOED: frozenset({ESTABLISHED, CLOSED}),
     ESTABLISHED: frozenset({SHUTDOWN_SENT, CLOSED}),
     SHUTDOWN_SENT: frozenset({CLOSED}),
+}
+
+#: Event-labelled view: ``(state, event) -> state`` (RFC 4960 arc
+#: labels).  Model-checked by ``tools/iwarpcheck`` against
+#: :data:`SCTP_TRANSITIONS` (projection equality).  ``cookie_echo``
+#: establishes both the stateless passive side (CLOSED) and an INIT
+#: collision (COOKIE_WAIT); ``abort`` covers an ABORT chunk in either
+#: direction; ``peer_shutdown`` is the three-chunk teardown seen from
+#: the passive side.
+SCTP_EVENT_TRANSITIONS: Dict[Tuple[str, str], str] = {
+    (CLOSED, "active_open"): COOKIE_WAIT,
+    (CLOSED, "cookie_echo"): ESTABLISHED,
+    (COOKIE_WAIT, "init_ack"): COOKIE_ECHOED,
+    (COOKIE_WAIT, "cookie_echo"): ESTABLISHED,
+    (COOKIE_WAIT, "abort"): CLOSED,
+    (COOKIE_ECHOED, "cookie_ack"): ESTABLISHED,
+    (COOKIE_ECHOED, "abort"): CLOSED,
+    (ESTABLISHED, "shutdown"): SHUTDOWN_SENT,
+    (ESTABLISHED, "peer_shutdown"): CLOSED,
+    (ESTABLISHED, "abort"): CLOSED,
+    (SHUTDOWN_SENT, "shutdown_ack"): CLOSED,
 }
 
 
@@ -145,16 +167,12 @@ class SctpAssociation:
 
     def _set_state(self, new_state: str) -> None:
         """Sole state mutator after construction; validates the move
-        against :data:`SCTP_TRANSITIONS` (same-state is a no-op)."""
-        current = self.state
-        if new_state == current:
-            return
-        if new_state not in SCTP_TRANSITIONS.get(current, frozenset()):
-            raise SctpError(
-                f"illegal SCTP state transition {current} -> {new_state} "
-                f"({self.local_port}<->{self.remote})"
-            )
-        self.state = new_state
+        against :data:`SCTP_TRANSITIONS` via the shared
+        :func:`repro.core.fsm.transition` helper (same-state is a no-op)."""
+        _fsm_transition(
+            self, "SCTP", SCTP_TRANSITIONS, new_state, SctpError,
+            f" ({self.local_port}<->{self.remote})",
+        )
 
     def open_active(self) -> Future:
         if self.state != CLOSED:

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, FrozenSet, Optional, Tuple
 
+from ...core.fsm import transition as _fsm_transition
 from ...simnet.engine import Future, Simulator
 from .congestion import RenoCongestion
 from ..rto import RtoEstimator
@@ -51,6 +52,39 @@ TCP_TRANSITIONS: Dict[str, FrozenSet[str]] = {
     LAST_ACK: frozenset({CLOSED}),
     CLOSING: frozenset({TIME_WAIT, CLOSED}),
     TIME_WAIT: frozenset({CLOSED}),
+}
+
+#: Event-labelled view: ``(state, event) -> state`` (RFC 793 figure 6
+#: arc labels).  Model-checked by ``tools/iwarpcheck``, whose projection
+#: check keeps this table and :data:`TCP_TRANSITIONS` identical.
+#: ``reset`` covers both an arriving RST and a local abort; losing,
+#: duplicating, or reordering a data segment never moves this machine
+#: (retransmission absorbs it), which the product model in iwarpcheck
+#: states explicitly.
+TCP_EVENT_TRANSITIONS: Dict[Tuple[str, str], str] = {
+    (CLOSED, "active_open"): SYN_SENT,
+    (CLOSED, "passive_syn"): SYN_RCVD,
+    (SYN_SENT, "syn_ack"): ESTABLISHED,
+    (SYN_SENT, "close"): CLOSED,
+    (SYN_SENT, "reset"): CLOSED,
+    (SYN_RCVD, "handshake_ack"): ESTABLISHED,
+    (SYN_RCVD, "close"): FIN_WAIT_1,
+    (SYN_RCVD, "reset"): CLOSED,
+    (ESTABLISHED, "close"): FIN_WAIT_1,
+    (ESTABLISHED, "peer_fin"): CLOSE_WAIT,
+    (ESTABLISHED, "reset"): CLOSED,
+    (FIN_WAIT_1, "fin_acked"): FIN_WAIT_2,
+    (FIN_WAIT_1, "peer_fin"): CLOSING,
+    (FIN_WAIT_1, "peer_fin_acked"): TIME_WAIT,
+    (FIN_WAIT_1, "reset"): CLOSED,
+    (FIN_WAIT_2, "peer_fin"): TIME_WAIT,
+    (FIN_WAIT_2, "reset"): CLOSED,
+    (CLOSE_WAIT, "close"): LAST_ACK,
+    (CLOSE_WAIT, "reset"): CLOSED,
+    (LAST_ACK, "fin_acked"): CLOSED,
+    (CLOSING, "fin_acked"): TIME_WAIT,
+    (CLOSING, "reset"): CLOSED,
+    (TIME_WAIT, "msl_timeout"): CLOSED,
 }
 
 
@@ -127,16 +161,12 @@ class TcpConnection:
 
     def _set_state(self, new_state: str) -> None:
         """Sole state mutator after construction; validates the move
-        against :data:`TCP_TRANSITIONS` (same-state is a no-op)."""
-        current = self.state
-        if new_state == current:
-            return
-        if new_state not in TCP_TRANSITIONS.get(current, frozenset()):
-            raise TcpError(
-                f"illegal TCP state transition {current} -> {new_state} "
-                f"({self.local_port}<->{self.remote})"
-            )
-        self.state = new_state
+        against :data:`TCP_TRANSITIONS` via the shared
+        :func:`repro.core.fsm.transition` helper (same-state is a no-op)."""
+        _fsm_transition(
+            self, "TCP", TCP_TRANSITIONS, new_state, TcpError,
+            f" ({self.local_port}<->{self.remote})",
+        )
 
     # ------------------------------------------------------------------
     # Opening

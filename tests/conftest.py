@@ -1,6 +1,16 @@
-"""Shared fixtures: testbeds, stacks, devices, verbs endpoints."""
+"""Shared fixtures: testbeds, stacks, devices, verbs endpoints.
+
+When ``IWARP_FSM_COVERAGE`` names an output path, the whole session
+runs under the iwarpcheck transition-coverage sanitizer: an observer on
+``repro.core.fsm`` records every state transition the suite takes, and
+the recording is written at session end for ``python -m iwarpcheck
+coverage`` to gate (``make verify-fsm`` drives the pipeline).
+"""
 
 from __future__ import annotations
+
+import os
+import sys
 
 import pytest
 
@@ -8,6 +18,29 @@ from repro.core.verbs import RnicDevice
 from repro.models.costs import zero_cost_model
 from repro.simnet.topology import build_testbed
 from repro.transport.stacks import install_stacks
+
+_COVERAGE_PATH = os.environ.get("IWARP_FSM_COVERAGE")
+_RECORDER = None
+
+
+def pytest_configure(config):
+    global _RECORDER
+    if not _COVERAGE_PATH:
+        return
+    tools_dir = os.path.join(os.path.dirname(os.path.dirname(__file__)), "tools")
+    if tools_dir not in sys.path:
+        sys.path.insert(0, tools_dir)
+    from iwarpcheck.sanitizer import TransitionRecorder
+
+    _RECORDER = TransitionRecorder()
+    _RECORDER.install()
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if _RECORDER is None:
+        return
+    _RECORDER.uninstall()
+    _RECORDER.write(_COVERAGE_PATH)
 
 
 @pytest.fixture

@@ -2,6 +2,7 @@
 violation fixture plants one, and stays silent on clean code — including
 the real stack under ``src/``."""
 
+import json
 import subprocess
 import sys
 import textwrap
@@ -549,3 +550,49 @@ class TestRealTree:
         )
         assert proc.returncode == 0
         assert "IW201" in proc.stdout and "IW403" in proc.stdout
+
+    def test_cli_json_format_reports_violations(self, tmp_path):
+        write_tree(tmp_path, {
+            "repro/simnet/clocky.py": """
+                import time
+
+                NOW = time.time()
+            """,
+        })
+        proc = subprocess.run(
+            [sys.executable, "-m", "iwarplint", str(tmp_path), "--format", "json"],
+            cwd=REPO_ROOT, capture_output=True, text=True, timeout=120,
+        )
+        assert proc.returncode == 1
+        payload = json.loads(proc.stdout)
+        assert payload["tool"] == "iwarplint"
+        assert payload["count"] == len(payload["violations"]) == 1
+        assert payload["files"] == 1
+        violation = payload["violations"][0]
+        assert violation["rule"] == "IW401"
+        assert violation["path"].endswith("clocky.py")
+        assert violation["line"] > 0
+
+    def test_cli_json_format_clean(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "iwarplint", "src", "--format", "json"],
+            cwd=REPO_ROOT, capture_output=True, text=True, timeout=120,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        payload = json.loads(proc.stdout)
+        assert payload["violations"] == []
+
+    def test_cli_unknown_select_code_exits_two(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "iwarplint", "src", "--select", "IW9,IW201"],
+            cwd=REPO_ROOT, capture_output=True, text=True, timeout=120,
+        )
+        assert proc.returncode == 2
+        assert "IW9" in proc.stderr and "IW201" not in proc.stderr
+
+    def test_cli_valid_select_prefix_accepted(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "iwarplint", "src", "--select", "IW2"],
+            cwd=REPO_ROOT, capture_output=True, text=True, timeout=120,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr

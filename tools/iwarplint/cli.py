@@ -1,8 +1,13 @@
-"""Command-line entry point: ``python -m iwarplint [paths...]``."""
+"""Command-line entry point: ``python -m iwarplint [paths...]``.
+
+Exit codes: 0 clean, 1 violations found, 2 configuration or usage
+errors (missing path, unknown ``--select`` code).
+"""
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import Optional, Sequence
@@ -24,6 +29,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--list-rules", action="store_true", help="print every rule code and exit"
     )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format on stdout (default: text)",
+    )
     args = parser.parse_args(argv)
 
     if args.list_rules:
@@ -34,6 +45,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     select = None
     if args.select:
         select = [code.strip() for code in args.select.split(",") if code.strip()]
+        known = all_rules()
+        unknown = [
+            code
+            for code in select
+            if not any(rule.startswith(code) for rule in known)
+        ]
+        if unknown:
+            print(
+                f"iwarplint: unknown rule code(s): {', '.join(unknown)} "
+                f"(see --list-rules)",
+                file=sys.stderr,
+            )
+            return 2
     paths = [Path(p) for p in args.paths]
     missing = [p for p in paths if not p.exists()]
     if missing:
@@ -41,9 +65,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 2
 
     findings = lint_paths(paths, select=select)
-    for violation in findings:
-        print(violation.render())
     files = len({v.path for v in findings})
+    if args.format == "json":
+        payload = {
+            "tool": "iwarplint",
+            "count": len(findings),
+            "files": files,
+            "violations": [
+                {
+                    "path": str(v.path),
+                    "line": v.line,
+                    "col": v.col,
+                    "rule": v.rule,
+                    "message": v.message,
+                }
+                for v in findings
+            ],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for violation in findings:
+            print(violation.render())
     if findings:
         print(f"iwarplint: {len(findings)} violation(s) in {files} file(s)", file=sys.stderr)
         return 1
