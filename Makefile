@@ -1,7 +1,7 @@
 PYTHON ?= python
 ARTIFACTS ?= artifacts
 
-.PHONY: lint test check verify-fsm
+.PHONY: lint test check verify-fsm obs-check
 
 lint:
 	bash scripts/check.sh
@@ -22,3 +22,12 @@ verify-fsm:
 		$(PYTHON) -m pytest -q
 	$(PYTHON) -m iwarpcheck coverage $(ARTIFACTS)/fsm-records.json \
 		--output $(ARTIFACTS)/coverage-report.json
+
+# Observability gate: metrics must not perturb the simulation (the
+# determinism test), exporters must hold their golden formats, and the
+# golden WR-lifecycle span sequences must be intact.
+obs-check:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q \
+		tests/obs/test_determinism.py \
+		tests/obs/test_export.py \
+		tests/obs/test_spans.py

@@ -8,6 +8,7 @@ under loss — 0.1 % already hurts at 1 MB, 5 % zeroes everything above
 from conftest import print_table, run_once, save_results
 
 from repro.bench.harness import VerbsEndpointPair
+from repro.bench.report import attach_metrics
 from repro.simnet.loss import BernoulliLoss
 
 SIZES = (1024, 16384, 65536, 262144, 1048576)
@@ -63,13 +64,15 @@ def test_fig07_rd_reliability_adaptive_vs_fixed(benchmark):
                 "rd_sendrecv",
                 loss=BernoulliLoss(0.05, seed=11),
                 rd_opts=rd_opts,
+                metrics=True,
             )
             bw = pair.bandwidth_mbs(16384, messages=120, window=16)
             out[name] = {
                 "mbs": round(bw["mbs"], 1),
                 "received_msgs": bw["received_msgs"],
-                **pair.qps[0].rd.stats(),
+                **pair.repair_stats(),
             }
+            attach_metrics(out[name], pair.metrics_snapshot())
         return out
 
     out = run_once(benchmark, run)

@@ -10,6 +10,7 @@ arrive for the validity declaration.
 from conftest import print_table, run_once, save_results
 
 from repro.bench.harness import VerbsEndpointPair
+from repro.bench.report import attach_metrics
 from repro.simnet.loss import BernoulliLoss
 
 SIZES = (1024, 16384, 49152, 65536, 262144, 1048576)
@@ -77,15 +78,17 @@ def test_fig08_rd_write_record_reliability_stats(benchmark):
         out = {}
         for rate in (0.01, 0.05):
             pair = VerbsEndpointPair.build(
-                "rd_write_record", loss=BernoulliLoss(rate, seed=11)
+                "rd_write_record", loss=BernoulliLoss(rate, seed=11),
+                metrics=True,
             )
             bw = pair.bandwidth_mbs(262144, messages=30, window=8)
             out[f"{rate:.0%}"] = {
                 "mbs": round(bw["mbs"], 1),
                 "received_msgs": bw["received_msgs"],
                 "partial_msgs": bw["partial_msgs"],
-                **pair.qps[0].rd.stats(),
+                **pair.repair_stats(),
             }
+            attach_metrics(out[f"{rate:.0%}"], pair.metrics_snapshot())
         return out
 
     out = run_once(benchmark, run)

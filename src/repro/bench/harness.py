@@ -28,9 +28,11 @@ from ..core.verbs import (
 from ..memory.region import Access
 from ..models.costs import CostModel
 from ..models.platform import Platform
+from ..obs import Registry
 from ..simnet.engine import MS, SEC, Simulator
 from ..simnet.loss import BernoulliLoss, LossModel
 from ..simnet.topology import Testbed, build_testbed
+from ..simnet.trace import Tracer
 from ..transport.stacks import install_stacks
 
 MODES = ("ud_sendrecv", "ud_write_record", "rc_sendrecv", "rc_rdma_write",
@@ -74,10 +76,11 @@ class VerbsEndpointPair:
         loss_on_host: int = 0,
         markers: bool = True,
         rd_opts: Optional[dict] = None,
+        metrics: Optional[bool] = None,
     ) -> "VerbsEndpointPair":
         if mode not in MODES:
             raise BenchError(f"unknown mode {mode!r} (want one of {MODES})")
-        tb = build_testbed(2, platform=platform, costs=costs)
+        tb = build_testbed(2, platform=platform, costs=costs, metrics=metrics)
         if loss is not None:
             tb.set_egress_loss(loss_on_host, loss)
         nets = install_stacks(tb)
@@ -127,6 +130,55 @@ class VerbsEndpointPair:
     @property
     def sim(self) -> Simulator:
         return self.testbed.sim
+
+    # ------------------------------------------------------------------
+    # Observability (repro.obs)
+    # ------------------------------------------------------------------
+
+    @property
+    def registry(self) -> Registry:
+        """The testbed's metrics registry (see :mod:`repro.obs`)."""
+        return self.testbed.registry
+
+    def metrics_snapshot(self, prefix: Optional[str] = None) -> Dict[str, float]:
+        """Flat ``{series-key: value}`` snapshot of every registered
+        metric — what the figure benchmarks attach to their saved rows.
+        Empty when the pair was built without ``metrics=True``."""
+        return self.registry.snapshot(prefix)
+
+    def repair_stats(self, host: int = 0) -> Dict[str, int]:
+        """Datagram-LLP repair counters for ``host``, read off the
+        metrics registry (``transport.rudp.*`` samples) instead of
+        poking RUDP endpoint internals.  Keys match the legacy
+        ``RudpEndpoint.stats()`` names (``retransmissions``,
+        ``fast_retransmits``, ``backoff_events``, ...).  Requires
+        ``build(..., metrics=True)``."""
+        if not self.registry.enabled:
+            raise BenchError("repair_stats requires build(..., metrics=True)")
+        prefix = "transport.rudp."
+        hostname = self.testbed.hosts[host].name
+        out: Dict[str, int] = {}
+        for s in self.registry.collect():
+            if not s.name.startswith(prefix):
+                continue
+            labels = dict(s.labels)
+            if labels.get("host") != hostname:
+                continue
+            key = s.name[len(prefix):]
+            if "cause" in labels:
+                key = f"{key}.{labels['cause']}"
+            out[key] = out.get(key, 0) + int(s.value)
+        return out
+
+    def enable_spans(self) -> List[Tracer]:
+        """Attach a WR-lifecycle span tracer to each host and return
+        them (index = host index)."""
+        tracers = []
+        for h in self.testbed.hosts:
+            if h.wr_tracer is None:
+                h.wr_tracer = Tracer(self.sim)
+            tracers.append(h.wr_tracer)
+        return tracers
 
     def dest(self, i: int) -> Optional[Tuple[int, int]]:
         """Per-WR destination for datagram modes (None on RC)."""

@@ -44,6 +44,19 @@ def load_json(path: Path) -> Any:
         return json.load(fh)
 
 
+def attach_metrics(row: Dict[str, Any], snapshot: Dict[str, Any],
+                   prefix: Optional[str] = None) -> Dict[str, Any]:
+    """Attach a :meth:`repro.obs.Registry.snapshot` to a saved result
+    row under the ``"metrics"`` key (optionally filtered to series keys
+    starting with ``prefix``).  Returns the row for chaining; a no-op
+    when the snapshot is empty (metrics disabled)."""
+    if prefix is not None:
+        snapshot = {k: v for k, v in snapshot.items() if k.startswith(prefix)}
+    if snapshot:
+        row["metrics"] = snapshot
+    return row
+
+
 def percent_delta(measured: float, reference: float) -> float:
     """Signed percent difference of measured vs reference."""
     if reference == 0:

@@ -40,6 +40,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ...memory.region import Access, MemoryAccessError
 from ...memory.validity import ValidityMap
+from ...obs import wr_span
 from ...simnet.engine import MS
 from ..ddp.headers import DdpSegment, HeaderError, OP_READ_REQUEST, OP_READ_RESPONSE, OP_SEND, OP_SEND_SE, OP_TERMINATE, OP_WRITE, OP_WRITE_RECORD, QN_READ_REQUEST, QN_SEND, QN_TERMINATE, decode_read_request, encode_read_request
 from ..ddp.segmentation import ReassemblyError, UntaggedReassembly, plan_segments
@@ -116,6 +117,21 @@ class RdmapTx:
         msg_id = next(self._msg_id) if needs_udext else None
         msn = 0 if tagged else next(self._send_msn)
         specs = plan_segments(len(payload), self.qp.max_seg_payload)
+        obs = self.qp.obs
+        if obs.enabled:
+            labels = self.qp._obs_labels()
+            obs.counter("rdmap.tx.messages", **labels).inc()
+            obs.counter("rdmap.tx.segments", **labels).inc(len(specs))
+            if wr.opcode is WrOpcode.RDMA_WRITE_RECORD:
+                obs.counter("rdmap.write_record.messages", **labels).inc()
+                obs.counter("rdmap.write_record.segments", **labels).inc(len(specs))
+            elif not tagged:
+                obs.counter("rdmap.untagged.messages", **labels).inc()
+                obs.counter("rdmap.untagged.segments", **labels).inc(len(specs))
+        wr_span(
+            self.qp.host, "segment", qp=self.qp.qp_num, wr_id=wr.wr_id,
+            msg_id=msg_id, nsegs=len(specs),
+        )
         view = memoryview(payload)
         for spec in specs:
             seg = DdpSegment(
@@ -229,6 +245,10 @@ class RdmapRx:
     # ------------------------------------------------------------------
 
     def on_segment(self, seg: DdpSegment, src: Optional[Address]) -> None:
+        wr_span(
+            self.qp.host, "delivery", qp=self.qp.qp_num,
+            msg_id=seg.msg_id, opcode=seg.opcode, last=seg.last,
+        )
         try:
             self._dispatch(seg, src)
         except (HeaderError, ReassemblyError):
@@ -302,6 +322,13 @@ class RdmapRx:
         if state.validity.covered(offset, len(seg.payload)) and seg.payload:
             self.duplicate_segments += 1
         state.validity.add(offset, len(seg.payload))
+        obs = self.qp.obs
+        if obs.enabled:
+            labels = self.qp._obs_labels()
+            obs.counter("rdmap.write_record.placements", **labels).inc()
+            obs.counter(
+                "rdmap.write_record.placed_bytes", **labels
+            ).inc(len(seg.payload))
         if seg.last:
             # "The final packet must arrive for the partial message to be
             # placed into memory and those parts that are valid are
@@ -313,6 +340,11 @@ class RdmapRx:
         if state.timer is not None:
             state.timer.cancel()
         self._write_records.pop(key, None)
+        obs = self.qp.obs
+        if obs.enabled:
+            obs.counter(
+                "rdmap.write_record.completions", **self.qp._obs_labels()
+            ).inc()
         src = key[0]
         self.qp.push_rq_completion(
             WorkCompletion(

@@ -12,9 +12,11 @@ the operation it was waiting for was lost.
 
 from __future__ import annotations
 
+import itertools
 from collections import deque
 from typing import TYPE_CHECKING, Any, Callable, Deque, Dict, List, Optional
 
+from ...obs import sim_registry
 from ...simnet.engine import Future, Simulator
 
 if TYPE_CHECKING:
@@ -26,6 +28,9 @@ class CqError(Exception):
     """Completion-queue misuse (overflow, ...)."""
 
 
+_cq_nums = itertools.count(1)
+
+
 class CompletionQueue:
     """FIFO of work completions shared by any number of QPs."""
 
@@ -35,6 +40,7 @@ class CompletionQueue:
         self.sim = sim
         self.host = host
         self.depth = depth
+        self.cq_num = next(_cq_nums)
         self._entries: Deque[WorkCompletion] = deque()
         self._waiters: Deque[Dict[str, Any]] = deque()
         self.overflows = 0
@@ -44,6 +50,27 @@ class CompletionQueue:
         #: Callback fired (via the event queue) when armed and matched.
         self.on_event: Optional[Callable[[CompletionQueue], None]] = None
         self.events_raised = 0
+        # Metrics (repro.obs): the poll-batch histogram is the one
+        # event-push instrument here; the plain ints above stay the
+        # source of truth and are exposed via the pull collector.
+        self.obs = sim_registry(sim)
+        if self.obs.enabled:
+            self._poll_hist = self.obs.histogram(
+                "verbs.cq.poll_batch", **self._obs_labels()
+            )
+            self.obs.add_collector(self._obs_samples)
+
+    # -- metrics -----------------------------------------------------------
+
+    def _obs_labels(self) -> Dict[str, str]:
+        host = self.host.name if self.host is not None else ""
+        return {"cq": str(self.cq_num), "host": host}
+
+    def _obs_samples(self) -> Any:
+        labels = self._obs_labels()
+        yield ("verbs.cq.completions", labels, "counter", self.completions_total)
+        yield ("verbs.cq.overflows", labels, "counter", self.overflows)
+        yield ("verbs.cq.events", labels, "counter", self.events_raised)
 
     # -- event notification ------------------------------------------------
 
@@ -123,6 +150,8 @@ class CompletionQueue:
             waiter["future"].set_result([])
 
     def _charge_poll(self, n: int) -> None:
+        if self.obs.enabled:
+            self._poll_hist.observe(n)
         if self.host is not None:
             self.host.cpu.charge(self.host.costs.poll_ns * n)
 

@@ -23,6 +23,7 @@ from typing import TYPE_CHECKING, Any, Deque, Dict, FrozenSet, Optional, Set, Tu
 from ..fsm import transition as _fsm_transition
 
 from ...memory.region import Access
+from ...obs import sim_registry, wr_span
 from ...simnet.engine import Future
 from ...transport.ip import IP_HEADER
 from ...transport.rudp import RUDP_HEADER, RudpSocket
@@ -133,6 +134,13 @@ class QueuePair:
         self.rx = RdmapRx(self)
         self.ready: Future = self.sim.future()
         self.terminate_reason: Optional[str] = None
+        # Metrics (repro.obs): shared per-simulator registry.  Hot paths
+        # guard on ``self.obs.enabled`` so a disabled registry costs one
+        # attribute read; the pull collector exposes the plain-int
+        # counters that remain the source of truth for tests.
+        self.obs = sim_registry(device.sim)
+        if self.obs.enabled:
+            self.obs.add_collector(self._obs_samples)
 
     # -- state machine -----------------------------------------------------
 
@@ -155,12 +163,54 @@ class QueuePair:
         if new_state == RESET:
             self.terminate_reason = None
 
+    # -- metrics -----------------------------------------------------------
+
+    def _obs_labels(self) -> Dict[str, str]:
+        return {"qp": str(self.qp_num), "host": self.host.name}
+
+    def _obs_samples(self) -> Any:
+        """Pull collector: the RDMAP receive engine's plain-int counters
+        plus the UD-specific ones, when this QP type keeps them."""
+        labels = self._obs_labels()
+        rx = self.rx
+        yield ("rdmap.rx.drops_no_recv_posted", labels, "counter", rx.drops_no_recv_posted)
+        yield ("rdmap.rx.drops_malformed", labels, "counter", rx.drops_malformed)
+        yield ("rdmap.rx.remote_access_errors", labels, "counter", rx.remote_access_errors)
+        yield ("rdmap.rx.reaped_partial", labels, "counter", rx.reaped_partial)
+        yield ("rdmap.rx.duplicate_segments", labels, "counter", rx.duplicate_segments)
+        for name, attr in (
+            ("verbs.qp.crc_drops", "crc_drops"),
+            ("verbs.qp.drops_closed", "drops_closed"),
+            ("verbs.qp.rd_flushed_wrs", "rd_flushed_wrs"),
+        ):
+            value = getattr(self, attr, None)
+            if value is not None:
+                yield (name, labels, "counter", value)
+
+    def _note_completion(self, queue: str, wc: WorkCompletion) -> None:
+        status = wc.status.name.lower()
+        if self.obs.enabled:
+            self.obs.counter(
+                "verbs.qp.completions", queue=queue, status=status,
+                **self._obs_labels(),
+            ).inc()
+        wr_span(
+            self.host, "cqe", qp=self.qp_num, wr_id=wc.wr_id,
+            queue=queue, status=status, msg_id=wc.msg_id,
+        )
+
     # -- verbs ------------------------------------------------------------
 
     def post_send(self, wr: SendWR) -> None:
         if self.state != RTS:
             raise QpError(f"post_send on QP {self.qp_num} in state {self.state}")
         self._validate_send(wr)
+        op = wr.opcode.name.lower()
+        if self.obs.enabled:
+            labels = self._obs_labels()
+            self.obs.counter("verbs.qp.posts", op=op, **labels).inc()
+            self.obs.counter("verbs.qp.post_bytes", op=op, **labels).inc(wr.length)
+        wr_span(self.host, "post", qp=self.qp_num, wr_id=wr.wr_id, op=op)
         self.tx.post(wr)
 
     def post_recv(self, wr: RecvWR) -> None:
@@ -169,6 +219,8 @@ class QueuePair:
         for sge in wr.sges:
             if not (sge.mr.access & Access.LOCAL_WRITE):
                 raise QpError("receive SGE lacks LOCAL_WRITE")
+        if self.obs.enabled:
+            self.obs.counter("verbs.qp.recv_posts", **self._obs_labels()).inc()
         self.rq.append(wr)
 
     def _validate_send(self, wr: SendWR) -> None:
@@ -186,9 +238,11 @@ class QueuePair:
         return self.rq.popleft() if self.rq else None
 
     def push_rq_completion(self, wc: WorkCompletion) -> None:
+        self._note_completion("rq", wc)
         self.host.cpu.submit(self.host.costs.cqe_ns, self.rq_cq.push, wc)
 
     def push_sq_completion(self, wc: WorkCompletion) -> None:
+        self._note_completion("sq", wc)
         self.host.cpu.submit(self.host.costs.cqe_ns, self.sq_cq.push, wc)
 
     def sent_to_llp(
@@ -254,6 +308,8 @@ class QueuePair:
     def _flush_recv_queue(self) -> None:
         """Complete every still-posted receive with FLUSHED so pollers
         observe the teardown instead of waiting forever."""
+        if self.rq and self.obs.enabled:
+            self.obs.counter("verbs.qp.flushes", **self._obs_labels()).inc(len(self.rq))
         while self.rq:
             wr = self.rq.popleft()
             self.rq_cq.push(
@@ -386,6 +442,11 @@ class UdQp(QueuePair):
             if self.reliable and seg.msg_id is not None:
                 self._on_rd_segment_result(seg.msg_id, False)
             return
+        wr_span(
+            self.host, "wire", qp=self.qp_num,
+            proto="rudp" if self.reliable else "udp",
+            msg_id=seg.msg_id, last=seg.last,
+        )
         data = append_crc(seg.encode())
         if self.reliable:
             if seg.msg_id is not None and seg.msg_id in self._rd_pending:
@@ -537,6 +598,10 @@ class RcQp(QueuePair):
         if self.state == ERROR and seg.opcode != OP_TERMINATE:
             # Once errored only the TERMINATE notification may leave.
             return
+        wr_span(
+            self.host, "wire", qp=self.qp_num, proto="tcp",
+            msg_id=seg.msg_id, last=seg.last,
+        )
         self.mpa.emit_ulpdu_now(seg.encode())
 
     # -- receive ------------------------------------------------------------
@@ -626,6 +691,10 @@ class RcSctpQp(QueuePair):
             return
         if self.state == ERROR and seg.opcode != OP_TERMINATE:
             return
+        wr_span(
+            self.host, "wire", qp=self.qp_num, proto="sctp",
+            msg_id=seg.msg_id, last=seg.last,
+        )
         self.assoc.send_message(seg.encode())
 
     # -- receive ------------------------------------------------------------

@@ -1,0 +1,81 @@
+"""Observability support layer: metrics registry, WR spans, exporters.
+
+Usage from the stack (obs is a support layer — importable anywhere,
+imports no stack code):
+
+    from repro.obs import sim_registry
+    self.obs = sim_registry(device.sim)
+    if self.obs.enabled:
+        self.obs.counter("verbs.qp.posts", qp=..., op=...).inc()
+
+Enable per testbed (``build_testbed(..., metrics=True)``) or globally
+with ``IWARP_OBS=1``.  See DESIGN.md §8.
+"""
+
+from .export import (
+    dicts_to_samples,
+    dump_tracked,
+    merge_samples,
+    samples_to_dicts,
+    to_json,
+    to_json_obj,
+    to_prometheus,
+)
+from .metrics import (
+    DEFAULT_BUCKETS,
+    METRIC_LAYERS,
+    METRIC_NAME_PATTERN,
+    NULL_INSTRUMENT,
+    Counter,
+    Gauge,
+    Histogram,
+    Registry,
+    RegistryError,
+    Sample,
+    default_enabled,
+    diff,
+    sim_registry,
+    tracked_registries,
+    validate_name,
+)
+from .spans import (
+    SPAN_KIND,
+    STAGES,
+    merge_timelines,
+    spans,
+    stage_sequence,
+    timeline,
+    wr_span,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "METRIC_LAYERS",
+    "METRIC_NAME_PATTERN",
+    "SPAN_KIND",
+    "STAGES",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "NULL_INSTRUMENT",
+    "Registry",
+    "RegistryError",
+    "Sample",
+    "default_enabled",
+    "dicts_to_samples",
+    "diff",
+    "dump_tracked",
+    "merge_samples",
+    "merge_timelines",
+    "samples_to_dicts",
+    "sim_registry",
+    "spans",
+    "stage_sequence",
+    "timeline",
+    "to_json",
+    "to_json_obj",
+    "to_prometheus",
+    "tracked_registries",
+    "validate_name",
+    "wr_span",
+]

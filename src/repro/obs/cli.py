@@ -1,0 +1,124 @@
+"""``python -m repro.obs`` — dump/summarize/diff metrics snapshot files.
+
+Operates purely on the JSON interchange files written by
+``IWARP_OBS_DUMP``, the bench harness, or :func:`repro.obs.export.to_json`
+— no stack imports, so it works on artifacts from any run.
+
+    python -m repro.obs dump artifacts/metrics-snapshot.json
+    python -m repro.obs dump snap.json --format prom
+    python -m repro.obs summarize snap.json
+    python -m repro.obs diff before.json after.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional
+
+from .export import dicts_to_samples, samples_to_dicts, to_prometheus_lines
+from .metrics import Sample, diff as snapshot_diff
+
+
+def _load(path: str) -> List[Sample]:
+    with open(path) as fh:
+        obj = json.load(fh)
+    return dicts_to_samples(obj.get("metrics", []))
+
+
+def _as_snapshot(samples: List[Sample]) -> Dict[str, Any]:
+    return {s.key(): s.value for s in samples}
+
+
+def _cmd_dump(args: argparse.Namespace) -> int:
+    samples = _load(args.file)
+    if args.prefix:
+        samples = [s for s in samples if s.name.startswith(args.prefix)]
+    if args.format == "prom":
+        for line in to_prometheus_lines(samples):
+            print(line)
+    else:
+        json.dump({"metrics": samples_to_dicts(samples)}, sys.stdout,
+                  indent=2, sort_keys=True)
+        print()
+    return 0
+
+
+def _cmd_summarize(args: argparse.Namespace) -> int:
+    samples = _load(args.file)
+    by_layer: Dict[str, Dict[str, int]] = {}
+    for s in samples:
+        layer = s.name.split(".", 1)[0]
+        agg = by_layer.setdefault(layer, {"series": 0, "events": 0})
+        agg["series"] += 1
+        if s.kind == "counter":
+            agg["events"] += int(s.value)
+        elif s.kind == "histogram":
+            agg["events"] += int(s.value["count"])
+    print(f"{len(samples)} series across {len(by_layer)} layers")
+    for layer in sorted(by_layer):
+        agg = by_layer[layer]
+        print(f"  {layer:<12} {agg['series']:>5} series  {agg['events']:>10} events")
+    counters = sorted(
+        (s for s in samples if s.kind == "counter"),
+        key=lambda s: (-s.value, s.name, s.labels),
+    )
+    if counters:
+        print(f"top counters (of {len(counters)}):")
+        for s in counters[: args.top]:
+            print(f"  {s.value:>10}  {s.key()}")
+    hists = [s for s in samples if s.kind == "histogram"]
+    if hists:
+        print("histograms:")
+        for s in hists:
+            count = s.value["count"]
+            mean = s.value["sum"] / count if count else 0.0
+            print(f"  {s.key()}: count={count} mean={mean:.2f}")
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    before = _as_snapshot(_load(args.before))
+    after = _as_snapshot(_load(args.after))
+    delta = snapshot_diff(before, after)
+    changed = 0
+    for key in sorted(delta):
+        value = delta[key]
+        if isinstance(value, dict):
+            if value["count"]:
+                print(f"  {key}: count +{value['count']} sum +{value['sum']}")
+                changed += 1
+        elif value:
+            sign = "+" if value > 0 else ""
+            print(f"  {key}: {sign}{value}")
+            changed += 1
+    print(f"{changed} series changed")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Inspect metrics snapshot files (JSON interchange format).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_dump = sub.add_parser("dump", help="re-render a snapshot file")
+    p_dump.add_argument("file")
+    p_dump.add_argument("--format", choices=("json", "prom"), default="json")
+    p_dump.add_argument("--prefix", help="only metrics whose name starts with this")
+    p_dump.set_defaults(fn=_cmd_dump)
+
+    p_sum = sub.add_parser("summarize", help="per-layer totals and top counters")
+    p_sum.add_argument("file")
+    p_sum.add_argument("--top", type=int, default=10)
+    p_sum.set_defaults(fn=_cmd_summarize)
+
+    p_diff = sub.add_parser("diff", help="changed series between two snapshots")
+    p_diff.add_argument("before")
+    p_diff.add_argument("after")
+    p_diff.set_defaults(fn=_cmd_diff)
+
+    args = parser.parse_args(argv)
+    return int(args.fn(args))

@@ -1,0 +1,164 @@
+"""Snapshot exporters: JSON (the dump-file format) and Prometheus text.
+
+The JSON form is the interchange format everywhere metrics leave a
+process: ``BENCH_*.json`` rows, the ``IWARP_OBS_DUMP`` session artifact
+CI uploads, and the ``python -m repro.obs`` CLI all read/write
+
+    {"metrics": [{"name": ..., "labels": {...}, "kind": ...,
+                  "value": ...} | {..., "count": ..., "sum": ...,
+                  "buckets": [[le, cumulative], ...]}]}
+
+sorted by (name, labels) so diffs are stable.  The Prometheus text form
+follows the exposition format (dots become underscores, histograms
+expand to ``_bucket``/``_sum``/``_count`` series) for eyeballing with
+standard tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List
+
+from .metrics import Histogram, Registry, Sample, _TRACKED, _label_items
+
+
+def samples_to_dicts(samples: Iterable[Sample]) -> List[Dict[str, Any]]:
+    out: List[Dict[str, Any]] = []
+    for s in samples:
+        row: Dict[str, Any] = {
+            "name": s.name,
+            "labels": {k: v for k, v in s.labels},
+            "kind": s.kind,
+        }
+        if s.kind == "histogram":
+            row["count"] = s.value["count"]
+            row["sum"] = s.value["sum"]
+            row["buckets"] = s.value["buckets"]
+        else:
+            row["value"] = s.value
+        out.append(row)
+    return out
+
+
+def dicts_to_samples(rows: Iterable[Dict[str, Any]]) -> List[Sample]:
+    out: List[Sample] = []
+    for row in rows:
+        labels = _label_items(row.get("labels", {}))
+        if row["kind"] == "histogram":
+            value: Any = {
+                "count": row["count"],
+                "sum": row["sum"],
+                "buckets": [list(b) for b in row.get("buckets", [])],
+            }
+        else:
+            value = row["value"]
+        out.append(Sample(row["name"], labels, row["kind"], value))
+    return out
+
+
+def to_json_obj(reg: Registry) -> Dict[str, Any]:
+    return {"metrics": samples_to_dicts(reg.collect())}
+
+
+def to_json(reg: Registry, indent: int = 2) -> str:
+    return json.dumps(to_json_obj(reg), indent=indent, sort_keys=True)
+
+
+def _prom_name(name: str) -> str:
+    return name.replace(".", "_")
+
+
+def _prom_labels(items: Iterable[Any], extra: str = "") -> str:
+    parts = [f'{k}="{v}"' for k, v in items]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _prom_value(v: Any) -> str:
+    if isinstance(v, float) and v == int(v):
+        return str(int(v))
+    return str(v)
+
+
+def to_prometheus_lines(samples: Iterable[Sample]) -> List[str]:
+    """Prometheus text-exposition lines for an already-sorted sample list."""
+    lines: List[str] = []
+    typed: set = set()
+    for s in samples:
+        pname = _prom_name(s.name)
+        if s.name not in typed:
+            lines.append(f"# TYPE {pname} {s.kind}")
+            typed.add(s.name)
+        if s.kind == "histogram":
+            for edge, cum in s.value["buckets"]:
+                le = _prom_value(edge) if edge != "+Inf" else "+Inf"
+                labels = _prom_labels(s.labels, 'le="%s"' % le)
+                lines.append(f"{pname}_bucket{labels} {cum}")
+            lines.append(f"{pname}_sum{_prom_labels(s.labels)} {_prom_value(s.value['sum'])}")
+            lines.append(f"{pname}_count{_prom_labels(s.labels)} {s.value['count']}")
+        else:
+            lines.append(f"{pname}{_prom_labels(s.labels)} {_prom_value(s.value)}")
+    return lines
+
+
+def to_prometheus(reg: Registry) -> str:
+    return "\n".join(to_prometheus_lines(reg.collect())) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Session-wide dump (IWARP_OBS_DUMP)
+# ---------------------------------------------------------------------------
+
+
+def merge_samples(sample_lists: Iterable[List[Sample]]) -> List[Sample]:
+    """Fold many registries' samples into one list.
+
+    Counters and histogram buckets sum; gauges keep their max (they are
+    high-water-style values once a simulator is done).  Entries merge on
+    identical (name, labels, kind).
+    """
+    merged: Dict[Any, Sample] = {}
+    for samples in sample_lists:
+        for s in samples:
+            key = (s.name, s.labels, s.kind)
+            prev = merged.get(key)
+            if prev is None:
+                if s.kind == "histogram":
+                    value = {
+                        "count": s.value["count"],
+                        "sum": s.value["sum"],
+                        "buckets": [list(b) for b in s.value["buckets"]],
+                    }
+                    merged[key] = Sample(s.name, s.labels, s.kind, value)
+                else:
+                    merged[key] = s
+            elif s.kind == "counter":
+                merged[key] = Sample(s.name, s.labels, s.kind, prev.value + s.value)
+            elif s.kind == "gauge":
+                merged[key] = Sample(s.name, s.labels, s.kind, max(prev.value, s.value))
+            else:
+                pv = prev.value
+                pv["count"] += s.value["count"]
+                pv["sum"] += s.value["sum"]
+                prev_edges = [b[0] for b in pv["buckets"]]
+                new_edges = [b[0] for b in s.value["buckets"]]
+                if prev_edges != new_edges:
+                    raise ValueError(
+                        f"cannot merge histogram {s.name} with differing buckets"
+                    )
+                for i, (_, cum) in enumerate(s.value["buckets"]):
+                    pv["buckets"][i][1] += cum
+    out = list(merged.values())
+    out.sort(key=lambda s: (s.name, s.labels))
+    return out
+
+
+def dump_tracked(path: str) -> int:
+    """Write every ``IWARP_OBS_DUMP``-tracked registry, merged, to
+    ``path`` in the JSON interchange format.  Returns the sample count."""
+    samples = merge_samples(reg.collect() for reg in _TRACKED)
+    with open(path, "w") as fh:
+        json.dump({"metrics": samples_to_dicts(samples)}, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return len(samples)

@@ -192,6 +192,9 @@ class Simulator:
         self._heap: List[Event] = []
         self._seq: int = 0
         self.events_processed: int = 0
+        # Lazily populated by repro.obs.sim_registry (a support layer the
+        # engine must not import); None means no registry attached yet.
+        self.obs_registry: Optional[Any] = None
 
     # -- scheduling ------------------------------------------------------
 

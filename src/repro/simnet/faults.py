@@ -28,7 +28,7 @@ so chaos runs are bit-for-bit reproducible.
 from __future__ import annotations
 
 import random
-from typing import Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 from .loss import LossModel
 from .packet import Frame
@@ -55,6 +55,11 @@ class FaultModel:
 
     def _admit(self, frame: Frame, now: int) -> List[Emission]:
         raise NotImplementedError
+
+    def stats(self) -> Dict[str, int]:
+        """Uniform counter dict (subclasses extend with their own keys);
+        read by the NIC port's metrics collector."""
+        return {"seen": self.seen, "dropped": self.dropped}
 
     def reset(self) -> None:
         """Restore the model to its initial state (reseeding RNGs)."""
@@ -114,6 +119,12 @@ class DelayJitter(FaultModel):
             self.delayed += 1
         return [(delay, frame)]
 
+    def stats(self) -> Dict[str, int]:
+        out = super().stats()
+        out["delayed"] = self.delayed
+        out["spikes"] = self.spikes
+        return out
+
     def reset(self) -> None:
         super().reset()
         self._rng = random.Random(self.seed ^ 0xD31A)
@@ -143,6 +154,11 @@ class Reorder(FaultModel):
             return [(self.hold_ns, frame)]
         return [(0, frame)]
 
+    def stats(self) -> Dict[str, int]:
+        out = super().stats()
+        out["reordered"] = self.reordered
+        return out
+
     def reset(self) -> None:
         super().reset()
         self._rng = random.Random(self.seed ^ 0x0DD5)
@@ -167,6 +183,11 @@ class Duplicate(FaultModel):
             self.duplicated += 1
             return [(0, frame), (0, frame)]
         return [(0, frame)]
+
+    def stats(self) -> Dict[str, int]:
+        out = super().stats()
+        out["duplicated"] = self.duplicated
+        return out
 
     def reset(self) -> None:
         super().reset()
@@ -248,6 +269,18 @@ class FaultPipeline(FaultModel):
             if not emissions:
                 break
         return emissions
+
+    def stats(self) -> Dict[str, int]:
+        """Pipeline-level seen/dropped plus every stage's model-specific
+        counters summed by key (``seen``/``dropped`` of individual stages
+        are *not* folded in — they would double-count the pipeline's)."""
+        out = super().stats()
+        for stage in self.stages:
+            for key, value in stage.stats().items():
+                if key in ("seen", "dropped"):
+                    continue
+                out[key] = out.get(key, 0) + value
+        return out
 
     def reset(self) -> None:
         super().reset()

@@ -40,6 +40,9 @@ class Host:
         self.costs = costs
         self.ports: List[NicPort] = []
         self._protocols: Dict[str, Any] = {}
+        # Optional repro.simnet.trace.Tracer receiving WR-lifecycle spans
+        # (repro.obs.spans.wr_span); None keeps span recording a no-op.
+        self.wr_tracer: Optional[Any] = None
 
     # -- hardware ----------------------------------------------------------
 

@@ -41,6 +41,10 @@ class Link:
         self.name = name
         self._a = None
         self._b = None
+        # Aggregate traffic counters (both directions), maintained by the
+        # transmitting NicPort; exported by the cable() metrics collector.
+        self.frames = 0
+        self.bytes = 0
 
     def attach(self, a, b) -> None:
         """Connect the two endpoint ports."""

@@ -20,10 +20,11 @@ stacks, which know what processing each frame actually needs.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional
+from typing import Deque, Dict, Iterator, Optional, Tuple, Union
 
 from typing import TYPE_CHECKING
 
+from ..obs import sim_registry
 from .engine import Simulator
 from .link import Link
 from .loss import LossModel, NoLoss
@@ -64,7 +65,11 @@ class NicPort:
         self.drops_fault = 0
         self.dup_frames = 0
         self.held_frames = 0
+        self.queue_hwm = 0                     # egress queue high-water mark
         self.tracer = None                     # optional repro.simnet.trace.Tracer
+        obs = sim_registry(sim)
+        if obs.enabled:
+            obs.add_collector(self._obs_samples)
 
     # -- egress -----------------------------------------------------------
 
@@ -109,6 +114,8 @@ class NicPort:
                 self.tracer.record("drop.queue", port=self.name, frame=frame)
             return False
         self._queue.append(frame)
+        if len(self._queue) > self.queue_hwm:
+            self.queue_hwm = len(self._queue)
         if not self._transmitting:
             self._start_next()
         return True
@@ -125,6 +132,8 @@ class NicPort:
     def _finish_tx(self, frame: Frame) -> None:
         self.tx_frames += 1
         self.tx_bytes += frame.wire_size
+        self.link.frames += 1
+        self.link.bytes += frame.wire_size
         if self.tracer:
             self.tracer.record("tx", port=self.name, frame=frame)
         peer = self.link.peer_of(self)
@@ -154,6 +163,33 @@ class NicPort:
     def queue_depth(self) -> int:
         return len(self._queue)
 
+    # -- metrics -----------------------------------------------------------
+
+    def _obs_samples(
+        self,
+    ) -> Iterator[Tuple[str, Dict[str, str], str, Union[int, float]]]:
+        """Pull collector for the registry: the port's plain-int counters
+        (which remain the source of truth for tests), its queue
+        high-water mark, and whatever loss/fault models are attached."""
+        labels = {"port": self.name}
+        yield ("simnet.port.tx_frames", labels, "counter", self.tx_frames)
+        yield ("simnet.port.tx_bytes", labels, "counter", self.tx_bytes)
+        yield ("simnet.port.rx_frames", labels, "counter", self.rx_frames)
+        yield ("simnet.port.rx_bytes", labels, "counter", self.rx_bytes)
+        yield ("simnet.port.drops_queue_full", labels, "counter", self.drops_queue_full)
+        yield ("simnet.port.drops_loss_model", labels, "counter", self.drops_loss_model)
+        yield ("simnet.port.drops_fault", labels, "counter", self.drops_fault)
+        yield ("simnet.port.dup_frames", labels, "counter", self.dup_frames)
+        yield ("simnet.port.held_frames", labels, "counter", self.held_frames)
+        yield ("simnet.port.queue_hwm", labels, "gauge", self.queue_hwm)
+        if self.loss_model.seen:
+            yield ("simnet.loss.seen", labels, "counter", self.loss_model.seen)
+            yield ("simnet.loss.dropped", labels, "counter", self.loss_model.dropped)
+        if self.fault_model is not None:
+            stats = self.fault_model.stats()
+            for key in sorted(stats):
+                yield ("simnet.faults." + key, labels, "counter", stats[key])
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<NicPort {self.name!r} q={len(self._queue)} tx={self.tx_frames} rx={self.rx_frames}>"
 
@@ -163,4 +199,14 @@ def cable(sim: Simulator, port_a: NicPort, port_b: NicPort, link: Link) -> Link:
     link.attach(port_a, port_b)
     port_a.link = link
     port_b.link = link
+    obs = sim_registry(sim)
+    if obs.enabled:
+        name = link.name or f"{port_a.name}-{port_b.name}"
+
+        def samples() -> Iterator[Tuple[str, Dict[str, str], str, Union[int, float]]]:
+            labels = {"link": name}
+            yield ("simnet.link.tx_frames", labels, "counter", link.frames)
+            yield ("simnet.link.tx_bytes", labels, "counter", link.bytes)
+
+        obs.add_collector(samples)
     return link

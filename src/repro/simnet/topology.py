@@ -15,6 +15,7 @@ from typing import List, Optional
 
 from ..models.costs import CostModel, default_cost_model
 from ..models.platform import Platform
+from ..obs import Registry, sim_registry
 from .engine import Simulator
 from .faults import FaultModel
 from .host import Host
@@ -36,6 +37,11 @@ class Testbed:
 
     def host(self, i: int) -> Host:
         return self.hosts[i]
+
+    @property
+    def registry(self) -> Registry:
+        """The simulator's metrics registry (see :mod:`repro.obs`)."""
+        return sim_registry(self.sim)
 
     def set_egress_loss(self, host_index: int, model: LossModel) -> None:
         """Drop frames leaving ``hosts[host_index]`` per ``model`` —
@@ -69,14 +75,21 @@ def build_testbed(
     costs: Optional[CostModel] = None,
     use_switch: bool = True,
     sim: Optional[Simulator] = None,
+    metrics: Optional[bool] = None,
 ) -> Testbed:
     """Build N hosts star-wired through one switch (or, with
-    ``use_switch=False`` and exactly two hosts, a direct cable)."""
+    ``use_switch=False`` and exactly two hosts, a direct cable).
+
+    ``metrics`` pins the simulator's :mod:`repro.obs` registry state
+    (``None`` defers to the ``IWARP_OBS`` environment switch).  The
+    registry is resolved *before* any host or port exists so every
+    component collector sees the final enabled state."""
     if n_hosts < 2:
         raise ValueError("a testbed needs at least two hosts")
     platform = platform or Platform.paper_testbed()
     costs = costs or default_cost_model()
     sim = sim or Simulator()
+    sim_registry(sim, enable=metrics)
 
     hosts = [Host(sim, host_id=i, costs=costs) for i in range(n_hosts)]
     for h in hosts:

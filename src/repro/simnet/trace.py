@@ -45,12 +45,18 @@ class Tracer:
         self,
         kind: Optional[str] = None,
         predicate: Optional[Callable[[TraceRecord], bool]] = None,
+        **fields: Any,
     ) -> List[TraceRecord]:
+        """Records matching ``kind``, the optional ``predicate``, and
+        exact equality on any keyword ``fields`` (e.g.
+        ``select("wr.span", stage="retransmit")``)."""
         out = self.records
         if kind is not None:
             out = [r for r in out if r.kind == kind]
         if predicate is not None:
             out = [r for r in out if predicate(r)]
+        for key, want in fields.items():
+            out = [r for r in out if r.fields.get(key) == want]
         return list(out)
 
     def count(self, kind: str) -> int:

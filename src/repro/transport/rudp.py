@@ -41,6 +41,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Deque, Dict, List, Optional, Set, Tuple
 
+from ..obs import sim_registry, wr_span
 from ..simnet.engine import MS, SEC, US, Future, Simulator
 from .rto import RtoEstimator
 from .udp import UDP_MAX_PAYLOAD, UdpSocket
@@ -189,6 +190,32 @@ class RudpSocket:
         self.acks_sent = 0
         self.peer_failures = 0
         self.messages_failed = 0
+        # Every retransmission attributed to the mechanism that fired it:
+        # RTO expiry, fast retransmit (the dup-ACK-triggered hole), the
+        # extra SACK-inferred hole resends in the same recovery round, or
+        # a NewReno partial-ACK resend.  Sums to ``retransmissions``.
+        self.retransmits_by_cause: Dict[str, int] = {
+            "rto": 0, "fast": 0, "sack": 0, "partial_ack": 0,
+        }
+        self.host = udp.stack.host
+        self.obs = sim_registry(self.sim)
+        if self.obs.enabled:
+            self.obs.add_collector(self._obs_samples)
+
+    def _obs_samples(self):
+        """Pull collector: the aggregate ints (still the source of truth
+        for ``stats()``) as ``transport.rudp.*`` series, plus the
+        per-cause retransmit breakdown."""
+        labels = {"host": self.host.name, "port": str(self.port)}
+        for key, value in self.stats().items():
+            yield ("transport.rudp." + key, labels, "counter", value)
+        for cause in sorted(self.retransmits_by_cause):
+            yield (
+                "transport.rudp.retransmits",
+                {"cause": cause, **labels},
+                "counter",
+                self.retransmits_by_cause[cause],
+            )
 
     @property
     def port(self) -> int:
@@ -274,12 +301,17 @@ class RudpSocket:
             tx.estimator.on_timeout()
             tx.stats.backoff_events += 1
             self.backoff_events += 1
-        self._retransmit(addr, tx, seq)
+        self._retransmit(addr, tx, seq, "rto")
         self._arm_timer(addr, tx)
 
-    def _retransmit(self, addr: Address, tx: _PeerTx, seq: int) -> None:
+    def _retransmit(self, addr: Address, tx: _PeerTx, seq: int, cause: str) -> None:
         tx.stats.retransmissions += 1
         self.retransmissions += 1
+        self.retransmits_by_cause[cause] += 1
+        wr_span(
+            self.host, "retransmit", proto="rudp", cause=cause,
+            seq=seq, port=self.port, peer=addr,
+        )
         self._emit(addr, seq, tx.unacked[seq])
 
     def _fail_peer(self, addr: Address, tx: _PeerTx) -> None:
@@ -411,7 +443,7 @@ class RudpSocket:
             # retransmissions was itself lost.  Resend it immediately
             # rather than waiting for a (backed-off) timeout.
             tx.rtx.add(ack_seq)
-            self._retransmit(src, tx, ack_seq)
+            self._retransmit(src, tx, ack_seq, "partial_ack")
         if self.adaptive:
             tx.estimator.reset_backoff()
         tx.stats.srtt_ns = tx.estimator.srtt
@@ -447,7 +479,9 @@ class RudpSocket:
             if seq > horizon or seq in tx.sacked:
                 continue
             tx.rtx.add(seq)
-            self._retransmit(src, tx, seq)
+            # The dup-ACK-named hole is the classic fast retransmit; the
+            # other holes are inferred from SACK coverage.
+            self._retransmit(src, tx, seq, "fast" if seq == missing else "sack")
         self._arm_timer(src, tx)
 
     def _on_data(self, seq: int, payload: bytes, src: Address) -> None:

@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import Callable, Dict, FrozenSet, Optional, Tuple
 
 from ...core.fsm import transition as _fsm_transition
+from ...obs import sim_registry, wr_span
 from ...simnet.engine import Future, Simulator
 from .congestion import RenoCongestion
 from ..rto import RtoEstimator
@@ -154,6 +155,73 @@ class TcpConnection:
         self.segments_sent = 0
         self.segments_received = 0
         self.retransmissions = 0
+        self.dup_acks_total = 0
+        # Retransmissions attributed to the mechanism that fired them
+        # (sums to ``retransmissions``): RTO expiry (including go-back-N
+        # rewinds), dup-ACK fast retransmit, NewReno partial-ACK resend.
+        self.retransmits_by_cause: Dict[str, int] = {
+            "rto": 0, "fast": 0, "partial_ack": 0,
+        }
+        self.obs = sim_registry(self.sim)
+        if self.obs.enabled:
+            self.obs.add_collector(self._obs_samples)
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+
+    def _obs_labels(self) -> Dict[str, str]:
+        return {
+            "host": self.stack.host.name,
+            "conn": f"{self.local_port}-{self.remote[0]}:{self.remote[1]}",
+        }
+
+    def _obs_samples(self):
+        """Pull collector (registered only when metrics are enabled, so a
+        disabled run never keeps closed connections alive through the
+        registry).  The plain ints above stay the source of truth."""
+        labels = self._obs_labels()
+        yield ("transport.tcp.segments", {"dir": "tx", **labels}, "counter", self.segments_sent)
+        yield ("transport.tcp.segments", {"dir": "rx", **labels}, "counter", self.segments_received)
+        yield ("transport.tcp.bytes", {"dir": "tx", **labels}, "counter", self.bytes_sent)
+        yield ("transport.tcp.bytes", {"dir": "rx", **labels}, "counter", self.bytes_received)
+        yield ("transport.tcp.retransmissions", labels, "counter", self.retransmissions)
+        yield ("transport.tcp.dup_acks", labels, "counter", self.dup_acks_total)
+        for cause in sorted(self.retransmits_by_cause):
+            yield (
+                "transport.tcp.retransmits",
+                {"cause": cause, **labels},
+                "counter",
+                self.retransmits_by_cause[cause],
+            )
+        yield ("transport.tcp.rto_backoffs", labels, "counter", self.rto.backoffs)
+        yield ("transport.tcp.cwnd_bytes", labels, "gauge", self.cong.cwnd)
+        yield ("transport.tcp.ssthresh_bytes", labels, "gauge", self.cong.ssthresh)
+        yield ("transport.tcp.rto_ns", labels, "gauge", self.rto.rto_ns)
+
+    def obs_stats(self) -> Dict[str, object]:
+        """Per-connection stats snapshot (plain dict, registry-free)."""
+        return {
+            "segments_sent": self.segments_sent,
+            "segments_received": self.segments_received,
+            "bytes_sent": self.bytes_sent,
+            "bytes_received": self.bytes_received,
+            "retransmissions": self.retransmissions,
+            "retransmits_by_cause": dict(self.retransmits_by_cause),
+            "dup_acks": self.dup_acks_total,
+            "rto_backoffs": self.rto.backoffs,
+            "cwnd_bytes": self.cong.cwnd,
+            "ssthresh_bytes": self.cong.ssthresh,
+            "rto_ns": self.rto.rto_ns,
+        }
+
+    def _note_retransmit(self, cause: str, seq: int) -> None:
+        self.retransmissions += 1
+        self.retransmits_by_cause[cause] += 1
+        wr_span(
+            self.stack.host, "retransmit", proto="tcp", cause=cause,
+            seq=seq, conn=self.local_port,
+        )
 
     # ------------------------------------------------------------------
     # State machine
@@ -326,22 +394,22 @@ class TcpConnection:
             self._fin_sent and self.snd_una == self._fin_seq
         ):
             # Handshake frames and a lone unacked FIN are single-shot.
-            self._retransmit_front()
+            self._retransmit_front("rto")
         else:
             # Go-back-N: rewind to the cumulative-ACK point and let the
             # output engine resend the window forward in slow start —
             # without this, a multi-loss window only heals one MSS per
             # (exponentially backed-off) timeout.
-            self.retransmissions += 1
+            self._note_retransmit("rto", self.snd_una)
             if self._fin_sent:
                 self._fin_sent = False  # FIN re-follows the data
             self.snd_nxt = self.snd_una
             self._try_output()
         self._arm_rtx()
 
-    def _retransmit_front(self) -> None:
+    def _retransmit_front(self, cause: str) -> None:
         """Resend the oldest unacknowledged chunk."""
-        self.retransmissions += 1
+        self._note_retransmit(cause, self.snd_una)
         if self.state == SYN_SENT:
             self._transmit(self.iss, SYN, b"")
             return
@@ -462,7 +530,7 @@ class TcpConnection:
                 # past the recovery point, so the next hole starts at the
                 # new snd_una — retransmit it now instead of stalling for
                 # an RTO (RFC 6582).
-                self._retransmit_front()
+                self._retransmit_front("partial_ack")
             if self.flight_size() == 0:
                 self._cancel_rtx()
             else:
@@ -477,9 +545,10 @@ class TcpConnection:
             and self.flight_size() > 0
         ):
             self._dup_acks += 1
+            self.dup_acks_total += 1
             if self._dup_acks == 3:
                 if self.cong.on_dup_acks(self.flight_size(), self.snd_nxt):
-                    self._retransmit_front()
+                    self._retransmit_front("fast")
             elif self._dup_acks > 3:
                 self.cong.on_dup_ack_in_recovery()
                 self._try_output()

@@ -22,6 +22,11 @@ from repro.transport.stacks import install_stacks
 _COVERAGE_PATH = os.environ.get("IWARP_FSM_COVERAGE")
 _RECORDER = None
 
+#: When set (with IWARP_OBS=1), every registry the session creates is
+#: tracked and their merged samples are written here at session end —
+#: the CI metrics-snapshot artifact (``python -m repro.obs summarize``).
+_OBS_DUMP = os.environ.get("IWARP_OBS_DUMP")
+
 
 def pytest_configure(config):
     global _RECORDER
@@ -37,6 +42,10 @@ def pytest_configure(config):
 
 
 def pytest_sessionfinish(session, exitstatus):
+    if _OBS_DUMP:
+        from repro.obs import dump_tracked
+
+        dump_tracked(_OBS_DUMP)
     if _RECORDER is None:
         return
     _RECORDER.uninstall()

@@ -1,0 +1,126 @@
+"""Exporter golden tests: the JSON interchange form and the Prometheus
+text exposition form of one hand-built registry, byte for byte."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    Registry, dicts_to_samples, merge_samples, samples_to_dicts, to_json,
+    to_json_obj, to_prometheus,
+)
+
+
+def _build() -> Registry:
+    reg = Registry(enabled=True)
+    reg.counter("verbs.qp.posts", qp="1", host="host0").inc(4)
+    reg.counter("verbs.qp.posts", qp="2", host="host1").inc(2)
+    reg.gauge("simnet.port.queue_hwm", port="host0.p0").set(7)
+    h = reg.histogram("verbs.cq.poll_batch", buckets=(1, 2, 4), cq="1")
+    for v in (1, 1, 3, 9):
+        h.observe(v)
+    return reg
+
+
+GOLDEN_JSON = {
+    "metrics": [
+        {
+            "name": "simnet.port.queue_hwm",
+            "labels": {"port": "host0.p0"},
+            "kind": "gauge",
+            "value": 7,
+        },
+        {
+            "name": "verbs.cq.poll_batch",
+            "labels": {"cq": "1"},
+            "kind": "histogram",
+            "count": 4,
+            "sum": 14.0,
+            "buckets": [[1.0, 2], [2.0, 2], [4.0, 3], ["+Inf", 4]],
+        },
+        {
+            "name": "verbs.qp.posts",
+            "labels": {"host": "host0", "qp": "1"},
+            "kind": "counter",
+            "value": 4,
+        },
+        {
+            "name": "verbs.qp.posts",
+            "labels": {"host": "host1", "qp": "2"},
+            "kind": "counter",
+            "value": 2,
+        },
+    ]
+}
+
+GOLDEN_PROM = """\
+# TYPE simnet_port_queue_hwm gauge
+simnet_port_queue_hwm{port="host0.p0"} 7
+# TYPE verbs_cq_poll_batch histogram
+verbs_cq_poll_batch_bucket{cq="1",le="1"} 2
+verbs_cq_poll_batch_bucket{cq="1",le="2"} 2
+verbs_cq_poll_batch_bucket{cq="1",le="4"} 3
+verbs_cq_poll_batch_bucket{cq="1",le="+Inf"} 4
+verbs_cq_poll_batch_sum{cq="1"} 14
+verbs_cq_poll_batch_count{cq="1"} 4
+# TYPE verbs_qp_posts counter
+verbs_qp_posts{host="host0",qp="1"} 4
+verbs_qp_posts{host="host1",qp="2"} 2
+"""
+
+
+def test_json_golden():
+    assert to_json_obj(_build()) == GOLDEN_JSON
+    # The string form parses back to the same object (stable on disk).
+    assert json.loads(to_json(_build())) == GOLDEN_JSON
+
+
+def test_prometheus_golden():
+    assert to_prometheus(_build()) == GOLDEN_PROM
+
+
+def test_json_round_trip():
+    samples = _build().collect()
+    assert dicts_to_samples(samples_to_dicts(samples)) == samples
+
+
+def test_merge_samples_sums_counters_maxes_gauges_folds_histograms():
+    a, b = _build(), _build()
+    b.gauge("simnet.port.queue_hwm", port="host0.p0").set(3)  # lower
+    merged = merge_samples([a.collect(), b.collect()])
+    by_key = {s.key(): s for s in merged}
+    assert by_key['verbs.qp.posts{host="host0",qp="1"}'].value == 8
+    assert by_key['simnet.port.queue_hwm{port="host0.p0"}'].value == 7
+    hist = by_key['verbs.cq.poll_batch{cq="1"}'].value
+    assert hist["count"] == 8
+    assert hist["sum"] == pytest.approx(28.0)
+    assert hist["buckets"] == [[1.0, 4], [2.0, 4], [4.0, 6], ["+Inf", 8]]
+
+
+def test_merge_samples_rejects_differing_histogram_buckets():
+    a = Registry(enabled=True)
+    a.histogram("verbs.cq.poll_batch", buckets=(1, 2)).observe(1)
+    b = Registry(enabled=True)
+    b.histogram("verbs.cq.poll_batch", buckets=(1, 4)).observe(1)
+    with pytest.raises(ValueError):
+        merge_samples([a.collect(), b.collect()])
+
+
+def test_dump_tracked_writes_interchange_format(tmp_path, monkeypatch):
+    import repro.obs.metrics as metrics_mod
+    from repro.obs import dump_tracked
+
+    monkeypatch.setattr(metrics_mod, "_TRACKED", [_build(), _build()])
+    # export.py binds the same list object at import time; patch both.
+    import repro.obs.export as export_mod
+
+    monkeypatch.setattr(export_mod, "_TRACKED", metrics_mod._TRACKED)
+    out = tmp_path / "snapshot.json"
+    n = dump_tracked(str(out))
+    data = json.loads(out.read_text())
+    assert n == len(data["metrics"]) == 4
+    by_name = {
+        (row["name"], tuple(sorted(row["labels"].items()))): row
+        for row in data["metrics"]
+    }
+    assert by_name[("verbs.qp.posts", (("host", "host0"), ("qp", "1")))]["value"] == 8

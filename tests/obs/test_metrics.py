@@ -1,0 +1,90 @@
+"""Property tests on the histogram instrument (hypothesis).
+
+The histogram is the one non-trivial data structure in ``repro.obs``:
+fixed ascending bucket edges with Prometheus ``le`` (inclusive upper
+bound) semantics, cumulative export, and edge-exact merging.
+"""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.obs import DEFAULT_BUCKETS, Histogram, RegistryError
+
+edges_strategy = st.lists(
+    st.integers(min_value=0, max_value=10_000), min_size=1, max_size=12,
+    unique=True,
+).map(lambda xs: tuple(sorted(float(x) for x in xs)))
+
+values_strategy = st.lists(
+    st.floats(min_value=-100, max_value=20_000, allow_nan=False,
+              allow_infinity=False),
+    max_size=80,
+)
+
+
+@given(edges=edges_strategy, values=values_strategy)
+def test_bucket_placement_matches_le_semantics(edges, values):
+    """Every cumulative bucket count equals the number of observations
+    ``<= edge`` — the Prometheus ``le`` contract — and +Inf holds all."""
+    h = Histogram(edges)
+    for v in values:
+        h.observe(v)
+    cumulative = h.cumulative()
+    assert cumulative[-1] == ("+Inf", len(values))
+    for edge, cum in cumulative[:-1]:
+        assert cum == sum(1 for v in values if v <= edge)
+    assert h.count == len(values)
+    assert h.sum == pytest.approx(sum(values))
+
+
+@given(edges=edges_strategy, a=values_strategy, b=values_strategy)
+def test_merge_equals_union_of_observations(edges, a, b):
+    """merge(h1, h2) is indistinguishable from observing a + b."""
+    h1, h2, href = Histogram(edges), Histogram(edges), Histogram(edges)
+    for v in a:
+        h1.observe(v)
+        href.observe(v)
+    for v in b:
+        h2.observe(v)
+        href.observe(v)
+    h1.merge(h2)
+    assert h1.counts == href.counts
+    assert h1.count == href.count
+    assert h1.sum == pytest.approx(href.sum)
+
+
+@given(edges=edges_strategy)
+def test_exact_edge_value_lands_inclusively(edges):
+    """An observation exactly on an edge counts toward that bucket
+    (``le`` is inclusive), never the next one."""
+    for edge in edges:
+        h = Histogram(edges)
+        h.observe(edge)
+        cum = dict((e, c) for e, c in h.cumulative())
+        assert cum[edge] == 1
+
+
+def test_merge_rejects_differing_edges():
+    h1 = Histogram((1.0, 2.0))
+    h2 = Histogram((1.0, 3.0))
+    with pytest.raises(RegistryError):
+        h1.merge(h2)
+
+
+def test_bad_edges_rejected():
+    with pytest.raises(RegistryError):
+        Histogram(())
+    with pytest.raises(RegistryError):
+        Histogram((2.0, 1.0))
+    with pytest.raises(RegistryError):
+        Histogram((1.0, 1.0))
+
+
+def test_reset_zeroes_but_keeps_shape():
+    h = Histogram(DEFAULT_BUCKETS)
+    for v in (0, 3, 500):
+        h.observe(v)
+    h.reset()
+    assert h.count == 0 and h.sum == 0
+    assert h.counts == [0] * (len(DEFAULT_BUCKETS) + 1)
+    assert h.edges == tuple(float(e) for e in DEFAULT_BUCKETS)

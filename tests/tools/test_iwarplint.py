@@ -105,7 +105,7 @@ class TestDriver:
         table = all_rules()
         for code in ("IW001", "IW101", "IW102", "IW103", "IW201", "IW202",
                      "IW203", "IW204", "IW301", "IW302", "IW303", "IW401",
-                     "IW402", "IW403"):
+                     "IW402", "IW403", "IW501"):
             assert code in table
 
     def test_syntax_error_reported_as_iw001(self, tmp_path):
@@ -462,6 +462,71 @@ class TestDeterminism:
             """,
         })
         assert lint_paths([root]) == []
+
+
+# ---------------------------------------------------------------------------
+# IW5xx — metric naming
+# ---------------------------------------------------------------------------
+
+
+class TestMetricNaming:
+    def test_two_segment_name_fires_iw501(self, tmp_path):
+        root = write_tree(tmp_path, {
+            "repro/core/verbs/qp.py": """
+                def instrument(obs):
+                    obs.counter("verbs.posts").inc()  # two segments
+            """,
+        })
+        (v,) = lint_paths([root])
+        assert v.rule == "IW501"
+        assert v.line == line_of(root, "repro/core/verbs/qp.py", "two segments")
+
+    def test_unknown_layer_fires_iw501(self, tmp_path):
+        root = write_tree(tmp_path, {
+            "repro/transport/rudp_extra.py": """
+                def instrument(obs):
+                    obs.gauge("llp.rudp.cwnd").set(1)
+            """,
+        })
+        (v,) = lint_paths([root])
+        assert v.rule == "IW501"
+        assert "unknown layer 'llp'" in v.message
+
+    def test_uppercase_and_bad_chars_fire_iw501(self, tmp_path):
+        root = write_tree(tmp_path, {
+            "repro/simnet/porty.py": """
+                def instrument(obs):
+                    obs.histogram("simnet.Port.queue-depth")
+            """,
+        })
+        assert codes(lint_paths([root])) == ["IW501"]
+
+    def test_conformant_names_are_silent(self, tmp_path):
+        root = write_tree(tmp_path, {
+            "repro/core/verbs/qp.py": """
+                def instrument(obs):
+                    obs.counter("verbs.qp.posts", op="send").inc()
+                    obs.gauge("transport.tcp.cwnd_bytes").set(1)
+                    obs.histogram("verbs.cq.poll_batch", buckets=(1, 2))
+            """,
+        })
+        assert lint_paths([root]) == []
+
+    def test_computed_names_left_to_runtime(self, tmp_path):
+        # Pull collectors build names from prefixes; the registry's own
+        # validate_name covers those on every collect().
+        root = write_tree(tmp_path, {
+            "repro/transport/rudp_extra.py": """
+                def instrument(obs, key):
+                    obs.counter("transport.rudp." + key).inc()
+            """,
+        })
+        assert lint_paths([root]) == []
+
+    def test_non_repro_modules_out_of_scope(self, tmp_path):
+        loose = tmp_path / "scratch.py"
+        loose.write_text('def f(obs):\n    obs.counter("nope")\n')
+        assert lint_paths([loose]) == []
 
 
 # ---------------------------------------------------------------------------

@@ -35,7 +35,7 @@ LAYER_RANK: Dict[str, int] = {
     "simnet": 7,
 }
 
-SUPPORT_LAYERS: FrozenSet[str] = frozenset({"memory", "models"})
+SUPPORT_LAYERS: FrozenSet[str] = frozenset({"memory", "models", "obs"})
 
 # Longest-prefix match from dotted module name to layer.
 LAYER_OF_PREFIX: Sequence[Tuple[str, str]] = (
@@ -50,6 +50,7 @@ LAYER_OF_PREFIX: Sequence[Tuple[str, str]] = (
     ("repro.simnet", "simnet"),
     ("repro.memory", "memory"),
     ("repro.models", "models"),
+    ("repro.obs", "obs"),
 )
 
 # Sanctioned non-adjacent edges: (source layer, target layer) -> allowed
@@ -263,7 +264,9 @@ WIRE_FORMATS: Dict[str, Dict[str, int]] = {
 # Determinism (IW4xx)
 # ---------------------------------------------------------------------------
 
-DETERMINISM_SCOPES: Sequence[str] = ("repro.simnet", "repro.transport", "repro.core")
+DETERMINISM_SCOPES: Sequence[str] = (
+    "repro.simnet", "repro.transport", "repro.core", "repro.obs",
+)
 
 # Wall-clock and environment entropy: (module, function) pairs.
 WALL_CLOCK_CALLS: FrozenSet[Tuple[str, str]] = frozenset(
@@ -298,3 +301,27 @@ SEEDED_RNG_CLASS = "Random"
 ORDER_INSENSITIVE_WRAPPERS: FrozenSet[str] = frozenset(
     {"sorted", "len", "min", "max", "sum", "any", "all", "set", "frozenset"}
 )
+
+
+# ---------------------------------------------------------------------------
+# Metric naming (IW5xx)
+# ---------------------------------------------------------------------------
+#
+# Mirrors repro.obs.metrics: every metric name handed to a registry
+# instrument factory must follow ``layer.component.name`` — at least
+# three lowercase dot-separated segments, first segment a known layer.
+# The runtime raises RegistryError on violations; IW501 catches the
+# literal statically, before any test has to execute the call site.
+
+METRIC_NAME_PATTERN = r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*){2,}$"
+
+METRIC_LAYERS: FrozenSet[str] = frozenset(
+    {
+        "apps", "bench", "socketif", "verbs", "rdmap", "ddp", "mpa",
+        "transport", "simnet", "memory", "models", "obs",
+    }
+)
+
+#: Registry factory method names whose first positional argument is a
+#: metric name.
+METRIC_FACTORIES: FrozenSet[str] = frozenset({"counter", "gauge", "histogram"})
