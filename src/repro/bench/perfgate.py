@@ -1,0 +1,312 @@
+"""Wall-clock performance gate for the simulator's hot paths.
+
+The figure benchmarks answer "does the model reproduce the paper?";
+this module answers "is the software fast enough to keep doing so?".
+It times two canonical scenarios — the fig06 bandwidth mix and the
+fig07 loss mix — and reports **events per second of wall time** and
+**simulated bytes per second of wall time**, the two rates every
+hot-path optimization (timer pooling, zero-copy segmentation, batched
+ACKs, NIC batch dequeue) is supposed to move.
+
+Two kinds of regression are distinguished:
+
+* **Simulation drift** — the deterministic counters (events processed,
+  simulated bytes, delivered messages, final simulated time) differ
+  from the committed baseline.  These are machine-independent; any
+  drift means behaviour changed and the gate fails hard, regardless of
+  timing.
+* **Throughput regression** — events/sec fell more than ``threshold``
+  below the committed baseline.  Timing is machine- and load-dependent,
+  so this check uses a tolerance (15 % locally, looser in CI) and can
+  be re-baselined deliberately with ``--rebaseline``.
+
+CLI::
+
+    PYTHONPATH=src python -m repro.bench.perfgate            # gate
+    PYTHONPATH=src python -m repro.bench.perfgate --rebaseline
+    PYTHONPATH=src python -m repro.bench.perfgate --threshold 0.25
+
+The gate writes ``BENCH_hotpath.json`` at the repo root: the committed
+baseline rows (``before``), the rows just measured (``after``), and the
+per-scenario speedup — the file the benchmark trajectory tracks.
+
+Methodology notes: each scenario is run ``best_of`` times and the
+fastest wall time wins (OS noise only ever slows a run down).  Wall
+time includes testbed construction — per-point setup is part of what
+every figure sweep pays, so it is part of what the gate protects.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional
+
+from ..simnet.loss import BernoulliLoss
+from .harness import VerbsEndpointPair
+
+#: Committed baseline (see --rebaseline).  Lives under benchmarks/ so
+#: re-baselining shows up in review next to the benchmark code.
+BASELINE_PATH = Path(__file__).resolve().parents[3] / "benchmarks" / "baselines" / "hotpath_baseline.json"
+
+#: Default BENCH output at the repo root.
+BENCH_PATH = Path(__file__).resolve().parents[3] / "BENCH_hotpath.json"
+
+#: Default allowed fractional drop in events/sec before the gate fails.
+DEFAULT_THRESHOLD = 0.15
+
+#: Counters that must be bit-identical run to run and machine to machine.
+DETERMINISTIC_FIELDS = ("events", "sim_bytes", "msgs", "sim_ns")
+
+
+def _leg(
+    mode: str,
+    size: int,
+    messages: int,
+    window: int = 64,
+    loss_rate: float = 0.0,
+    seed: int = 11,
+    rd_opts: Optional[dict] = None,
+) -> Dict[str, int]:
+    """Run one harness leg; returns its deterministic counters."""
+    loss = BernoulliLoss(loss_rate, seed=seed) if loss_rate else None
+    pair = VerbsEndpointPair.build(mode, loss=loss, rd_opts=rd_opts)
+    out = pair.bandwidth_mbs(size, messages=messages, window=window)
+    return {
+        "events": pair.sim.events_processed,
+        "sim_bytes": int(out["received_bytes"]),
+        "msgs": int(out["received_msgs"] + out["partial_msgs"]),
+        "sim_ns": pair.sim.now,
+    }
+
+
+def _fig06_bandwidth() -> List[Dict[str, int]]:
+    """Lossless bandwidth mix: UD send/recv, UD Write-Record and RC
+    send/recv at the sizes where fig06's curves separate."""
+    return [
+        _leg("ud_sendrecv", 65536, 60),
+        _leg("ud_write_record", 262144, 24),
+        _leg("rc_sendrecv", 65536, 40),
+    ]
+
+
+def _fig07_loss() -> List[Dict[str, int]]:
+    """Loss mix: UD under 1 % frame loss (fragmentation amplification)
+    plus RD send/recv under 5 % loss exercising the full repair path —
+    adaptive RTO, fast retransmit, SACK."""
+    return [
+        _leg("ud_sendrecv", 65536, 60, loss_rate=0.01),
+        _leg("rd_sendrecv", 16384, 120, window=16, loss_rate=0.05,
+             rd_opts={"rto_ns": 5_000_000}),
+    ]
+
+
+SCENARIOS: Dict[str, Callable[[], List[Dict[str, int]]]] = {
+    "fig06_bandwidth": _fig06_bandwidth,
+    "fig07_loss": _fig07_loss,
+}
+
+
+class PerfGateError(RuntimeError):
+    """Raised when a scenario is internally inconsistent (nondeterminism)."""
+
+
+def measure_scenario(name: str, best_of: int = 3) -> Dict[str, Any]:
+    """Run one scenario ``best_of`` times; keep the fastest wall time.
+
+    The deterministic counters must agree across repetitions — if they
+    do not, the simulation itself is nondeterministic and no timing
+    number means anything, so :class:`PerfGateError` is raised.
+    """
+    if best_of < 1:
+        raise ValueError(f"best_of must be >= 1, got {best_of}")
+    fn = SCENARIOS[name]
+    best: Optional[Dict[str, Any]] = None
+    for _ in range(best_of):
+        t0 = time.perf_counter()
+        legs = fn()
+        wall_s = time.perf_counter() - t0
+        row: Dict[str, Any] = {
+            "scenario": name,
+            "events": sum(leg["events"] for leg in legs),
+            "sim_bytes": sum(leg["sim_bytes"] for leg in legs),
+            "msgs": sum(leg["msgs"] for leg in legs),
+            "sim_ns": sum(leg["sim_ns"] for leg in legs),
+            "wall_s": wall_s,
+        }
+        if best is not None:
+            drift = [
+                f for f in DETERMINISTIC_FIELDS if best[f] != row[f]
+            ]
+            if drift:
+                raise PerfGateError(
+                    f"{name}: nondeterministic fields across repetitions: {drift}"
+                )
+            if row["wall_s"] < best["wall_s"]:
+                best = row
+        else:
+            best = row
+    assert best is not None
+    best["events_per_sec"] = round(best["events"] / best["wall_s"], 1)
+    best["sim_bytes_per_sec"] = round(best["sim_bytes"] / best["wall_s"], 1)
+    best["wall_s"] = round(best["wall_s"], 4)
+    return best
+
+
+def run_all(best_of: int = 3) -> Dict[str, Dict[str, Any]]:
+    return {name: measure_scenario(name, best_of) for name in SCENARIOS}
+
+
+# ----------------------------------------------------------------------
+# Baseline comparison
+# ----------------------------------------------------------------------
+
+def load_baseline(path: Path = BASELINE_PATH) -> Optional[Dict[str, Any]]:
+    if not path.exists():
+        return None
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def check_against_baseline(
+    current: Dict[str, Dict[str, Any]],
+    baseline: Dict[str, Any],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> List[str]:
+    """Return a list of human-readable failures (empty == gate passes)."""
+    failures: List[str] = []
+    rows = baseline.get("scenarios", {})
+    for name, cur in current.items():
+        base = rows.get(name)
+        if base is None:
+            failures.append(f"{name}: no baseline row (re-baseline to add it)")
+            continue
+        for field in DETERMINISTIC_FIELDS:
+            if field in base and base[field] != cur[field]:
+                failures.append(
+                    f"{name}: deterministic counter {field!r} drifted "
+                    f"(baseline {base[field]}, current {cur[field]}) — "
+                    "simulation behaviour changed"
+                )
+        floor = base["events_per_sec"] * (1.0 - threshold)
+        if cur["events_per_sec"] < floor:
+            failures.append(
+                f"{name}: {cur['events_per_sec']:.0f} events/s is below "
+                f"{floor:.0f} (baseline {base['events_per_sec']:.0f} "
+                f"- {threshold:.0%} tolerance)"
+            )
+    return failures
+
+
+def write_baseline(
+    current: Dict[str, Dict[str, Any]], path: Path = BASELINE_PATH
+) -> None:
+    """Commit ``current`` as the gate reference.  The ``seed`` block —
+    the pre-optimization snapshot BENCH reports speedup against — is
+    preserved across re-baselines."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    doc: Dict[str, Any] = {"bench": "hotpath", "scenarios": current}
+    old = load_baseline(path)
+    if old and "seed" in old:
+        doc["seed"] = old["seed"]
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def write_bench(
+    current: Dict[str, Dict[str, Any]],
+    baseline: Optional[Dict[str, Any]],
+    path: Path = BENCH_PATH,
+) -> Dict[str, Any]:
+    """Write the repo-root BENCH row: the pre-optimization ``seed``
+    rows (before), the rows just measured (after), and the
+    per-scenario events/sec speedup."""
+    baseline = baseline or {}
+    # "Before" is the seed snapshot when present; a freshly created
+    # baseline with no history falls back to the gate reference.
+    before = baseline.get("seed") or baseline.get("scenarios", {})
+    speedup = {
+        name: round(cur["events_per_sec"] / before[name]["events_per_sec"], 3)
+        for name, cur in current.items()
+        if name in before and before[name].get("events_per_sec")
+    }
+    doc = {
+        "bench": "hotpath",
+        "unit": "events_per_sec",
+        "before": before,
+        "after": current,
+        "speedup": speedup,
+    }
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return doc
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.perfgate",
+        description="Hot-path performance gate (events/sec, sim-bytes/sec).",
+    )
+    parser.add_argument("--best-of", type=int, default=3,
+                        help="repetitions per scenario; fastest wins (default 3)")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        help="allowed fractional events/sec drop (default 0.15)")
+    parser.add_argument("--baseline", type=Path, default=BASELINE_PATH,
+                        help="baseline JSON to gate against")
+    parser.add_argument("--output", type=Path, default=BENCH_PATH,
+                        help="BENCH JSON to write (default repo-root BENCH_hotpath.json)")
+    parser.add_argument("--rebaseline", action="store_true",
+                        help="write the measured rows as the new baseline and exit")
+    args = parser.parse_args(argv)
+
+    try:
+        current = run_all(best_of=args.best_of)
+    except PerfGateError as exc:
+        print(f"perfgate: FATAL: {exc}", file=sys.stderr)
+        return 2
+
+    for name, row in current.items():
+        print(
+            f"{name}: {row['events_per_sec']:>10.0f} events/s  "
+            f"{row['sim_bytes_per_sec'] / 1e6:>7.2f} sim-MB/s  "
+            f"({row['events']} events in {row['wall_s']:.3f}s wall)"
+        )
+
+    if args.rebaseline:
+        write_baseline(current, args.baseline)
+        print(f"perfgate: baseline written to {args.baseline}")
+        write_bench(current, load_baseline(args.baseline), args.output)
+        return 0
+
+    baseline = load_baseline(args.baseline)
+    if baseline is None:
+        print(
+            f"perfgate: no baseline at {args.baseline}; run with "
+            "--rebaseline to create one", file=sys.stderr,
+        )
+        return 2
+
+    doc = write_bench(current, baseline, args.output)
+    for name, ratio in sorted(doc["speedup"].items()):
+        print(f"{name}: {ratio:.2f}x vs baseline")
+
+    failures = check_against_baseline(current, baseline, args.threshold)
+    for failure in failures:
+        print(f"perfgate: REGRESSION: {failure}", file=sys.stderr)
+    if failures:
+        return 1
+    print(f"perfgate: OK (threshold {args.threshold:.0%}), wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    sys.exit(main())

@@ -20,18 +20,47 @@ Two programming styles are supported:
 
 Yielding an ``int`` sleeps that many nanoseconds; yielding a
 :class:`Future` suspends until its result is set.
+
+Hot-path notes
+--------------
+
+The heap stores ``(time, seq, event)`` tuples so ordering is decided by
+C-level integer comparisons — ``Event.__lt__`` is never consulted by the
+event loop (``seq`` is unique, so comparison never reaches the event).
+
+Cancellation is *lazy*: :meth:`Event.cancel` marks a tombstone that the
+run loop discards when popped.  A dead-entry counter triggers an in-place
+compaction once tombstones dominate the heap (retransmission timers that
+are re-armed on every ACK would otherwise grow it without bound).
+
+Fire-and-forget callbacks scheduled through :meth:`Simulator.call_after`
+/ :meth:`Simulator.call_at` return no handle, so their ``Event`` shells
+are recycled through a free list.  Handles returned by ``schedule``/
+``at`` are never recycled — the caller may hold one indefinitely and
+``cancel()`` it long after it fired.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, Iterable, List, Optional
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
 
 # Convenient time-unit multipliers (all in nanoseconds).
 NS = 1
 US = 1_000
 MS = 1_000_000
 SEC = 1_000_000_000
+
+#: Tombstone count below which compaction is never attempted (small heaps
+#: are cheap to pop through; rebuilding them would cost more than it saves).
+_COMPACT_MIN_DEAD = 256
+
+#: Maximum number of fired event shells kept for reuse.
+_FREE_LIST_MAX = 1024
+
+
+def _noop() -> None:
+    """Placeholder callback for recycled event shells."""
 
 
 class SimulationError(RuntimeError):
@@ -43,7 +72,7 @@ class Event:
     caller can cancel it (e.g. a retransmission timer that is no longer
     needed)."""
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "_sim", "_recyclable")
 
     def __init__(self, time: int, seq: int, fn: Callable[..., None], args: tuple):
         self.time = time
@@ -51,11 +80,23 @@ class Event:
         self.fn = fn
         self.args = args
         self.cancelled = False
+        # Owning simulator while the event sits in the heap; cleared when
+        # it fires (or is discarded) so late cancels don't skew the
+        # tombstone accounting.
+        self._sim: Optional["Simulator"] = None
+        # True only for events created via call_after/call_at, whose
+        # handles never escape to callers and are safe to recycle.
+        self._recyclable = False
 
     def cancel(self) -> None:
         """Prevent the callback from running.  Safe to call repeatedly,
         and safe to call after the event has fired (a no-op)."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        sim = self._sim
+        if sim is not None:
+            sim._note_cancel()
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -90,11 +131,11 @@ class Future:
         for cb in callbacks:
             # Resume waiters through the event queue so resumption order
             # is deterministic and re-entrancy is impossible.
-            self.sim.schedule(0, cb, value)
+            self.sim.call_after(0, cb, value)
 
     def add_callback(self, cb: Callable[[Any], None]) -> None:
         if self.done:
-            self.sim.schedule(0, cb, self.value)
+            self.sim.call_after(0, cb, self.value)
         else:
             self._callbacks.append(cb)
 
@@ -141,7 +182,7 @@ class Process:
         self.result: Any = None
         self.finished = Future(sim)
         self._fired = False
-        sim.schedule(0, self._step, None)
+        sim.call_after(0, self._step, None)
 
     def _step(self, send_value: Any) -> None:
         try:
@@ -154,9 +195,9 @@ class Process:
 
     def _dispatch(self, yielded: Any) -> None:
         if isinstance(yielded, int):
-            self.sim.schedule(yielded, self._step, None)
+            self.sim.call_after(yielded, self._step, None)
         elif isinstance(yielded, Timeout):
-            self.sim.schedule(yielded.delay, self._step, None)
+            self.sim.call_after(yielded.delay, self._step, None)
         elif isinstance(yielded, Future):
             yielded.add_callback(self._step)
         elif isinstance(yielded, Process):
@@ -184,14 +225,23 @@ class Process:
             fut.add_callback(make_cb(i))
 
 
+#: Heap entry: ``(time, seq, event)``.  Ordering is settled by the two
+#: leading ints; the event itself is never compared.
+_HeapEntry = Tuple[int, int, Event]
+
+
 class Simulator:
     """The event loop.  One instance per experiment run."""
 
     def __init__(self) -> None:
         self.now: int = 0
-        self._heap: List[Event] = []
+        self._heap: List[_HeapEntry] = []
         self._seq: int = 0
         self.events_processed: int = 0
+        # Tombstone accounting for lazily-cancelled entries still queued.
+        self._dead: int = 0
+        # Recycled shells for handle-less events (call_after/call_at).
+        self._free: List[Event] = []
         # Lazily populated by repro.obs.sim_registry (a support layer the
         # engine must not import); None means no registry attached yet.
         self.obs_registry: Optional[Any] = None
@@ -212,8 +262,56 @@ class Simulator:
             )
         self._seq += 1
         ev = Event(int(time_ns), self._seq, fn, args)
-        heapq.heappush(self._heap, ev)
+        ev._sim = self
+        heapq.heappush(self._heap, (ev.time, ev.seq, ev))
         return ev
+
+    def call_after(self, delay_ns: int, fn: Callable[..., None], *args: Any) -> None:
+        """Fire-and-forget :meth:`schedule`: no cancellable handle is
+        returned, which lets the engine recycle the event shell."""
+        if delay_ns < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay_ns})")
+        self.call_at(self.now + int(delay_ns), fn, *args)
+
+    def call_at(self, time_ns: int, fn: Callable[..., None], *args: Any) -> None:
+        """Fire-and-forget :meth:`at`: no cancellable handle is returned."""
+        if time_ns < self.now:
+            raise SimulationError(
+                f"cannot schedule at t={time_ns} before now={self.now}"
+            )
+        t = int(time_ns)
+        self._seq += 1
+        seq = self._seq
+        free = self._free
+        if free:
+            ev = free.pop()
+            ev.time = t
+            ev.seq = seq
+            ev.fn = fn
+            ev.args = args
+            ev.cancelled = False
+        else:
+            ev = Event(t, seq, fn, args)
+            ev._recyclable = True
+        ev._sim = self
+        heapq.heappush(self._heap, (t, seq, ev))
+
+    # -- tombstone bookkeeping ------------------------------------------
+
+    def _note_cancel(self) -> None:
+        """Called by :meth:`Event.cancel` while the event is heap-resident."""
+        self._dead += 1
+        if self._dead >= _COMPACT_MIN_DEAD and self._dead * 2 > len(self._heap):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify in place (the heap list
+        identity is preserved so a run loop holding a reference keeps
+        seeing the live heap)."""
+        heap = self._heap
+        heap[:] = [entry for entry in heap if not entry[2].cancelled]
+        heapq.heapify(heap)
+        self._dead = 0
 
     # -- process/future helpers -----------------------------------------
 
@@ -240,16 +338,33 @@ class Simulator:
         ``until``, or ``max_events`` have been processed.  Returns the
         number of events processed by this call."""
         processed = 0
-        while self._heap:
-            ev = self._heap[0]
-            if until is not None and ev.time > until:
+        heap = self._heap
+        heappop = heapq.heappop
+        free = self._free
+        while heap:
+            entry = heap[0]
+            if until is not None and entry[0] > until:
                 self.now = until
                 break
-            heapq.heappop(self._heap)
+            heappop(heap)
+            ev = entry[2]
             if ev.cancelled:
+                self._dead -= 1
                 continue
-            self.now = ev.time
-            ev.fn(*ev.args)
+            self.now = entry[0]
+            # Detach before firing: a cancel() from inside the callback
+            # (or long after) must be a no-op on the heap accounting.
+            ev._sim = None
+            fn = ev.fn
+            args = ev.args
+            if ev._recyclable and len(free) < _FREE_LIST_MAX:
+                # Shell goes back to the pool *before* the callback runs;
+                # fn/args are already saved in locals, so reuse by a
+                # call_after issued inside the callback is safe.
+                ev.fn = _noop
+                ev.args = ()
+                free.append(ev)
+            fn(*args)
             processed += 1
             self.events_processed += 1
             if max_events is not None and processed >= max_events:
@@ -269,7 +384,7 @@ class Simulator:
         while not fut.done:
             if not self._heap:
                 raise SimulationError("event queue drained before future resolved")
-            if limit is not None and self._heap[0].time > limit:
+            if limit is not None and self._heap[0][0] > limit:
                 raise SimulationError(f"future unresolved at time limit {limit}")
             self.run(max_events=1)
         # Drain the zero-delay resumption cascade so callers observe a
@@ -278,4 +393,4 @@ class Simulator:
 
     def pending(self) -> int:
         """Number of live (non-cancelled) events still queued."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        return sum(1 for entry in self._heap if not entry[2].cancelled)

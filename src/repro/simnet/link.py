@@ -9,8 +9,9 @@ on each end and the physical parameters.
 
 from __future__ import annotations
 
+from typing import Dict
 
-from .packet import ETH_MTU
+from .packet import ETH_MTU, serialization_ns
 
 
 class Link:
@@ -45,6 +46,20 @@ class Link:
         # transmitting NicPort; exported by the cable() metrics collector.
         self.frames = 0
         self.bytes = 0
+        # Serialization-time memo: traffic is dominated by a handful of
+        # distinct wire sizes (full MTU, minimum frame, ACKs), so each is
+        # computed once — the cached value is bit-identical to calling
+        # packet.serialization_ns directly.
+        self._ser_cache: Dict[int, int] = {}
+
+    def serialization_ns(self, wire_size: int) -> int:
+        """Time to clock ``wire_size`` bytes onto this link (memoized)."""
+        t = self._ser_cache.get(wire_size)
+        if t is None:
+            t = self._ser_cache[wire_size] = serialization_ns(
+                wire_size, self.bandwidth_bps
+            )
+        return t
 
     def attach(self, a, b) -> None:
         """Connect the two endpoint ports."""

@@ -28,10 +28,14 @@ from ..obs import sim_registry
 from .engine import Simulator
 from .link import Link
 from .loss import LossModel, NoLoss
-from .packet import Frame, serialization_ns
+from .packet import Frame
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from .faults import FaultModel
+
+#: Maximum number of back-to-back frames whose serialization-finish
+#: events are scheduled in one go when the transmitter wakes up.
+TX_BATCH = 8
 
 
 class NicPort:
@@ -55,6 +59,8 @@ class NicPort:
         self.fault_model: Optional["FaultModel"] = None
         self._queue: Deque[Frame] = deque()
         self._transmitting = False
+        self._batch_left = 0               # finish events outstanding in the batch
+        self._peer: Optional["NicPort"] = None  # lazily cached link peer
         # Counters for tests and reports.
         self.tx_frames = 0
         self.tx_bytes = 0
@@ -121,24 +127,52 @@ class NicPort:
         return True
 
     def _start_next(self) -> None:
-        if not self._queue:
+        """Wake the transmitter: serialize the head frame and pre-schedule
+        finish events for up to :data:`TX_BATCH` back-to-back frames.
+
+        Only the head frame leaves the FIFO here; each successor is
+        popped by its predecessor's ``_finish_tx`` — the exact instant
+        its own serialization starts — so drop-tail occupancy is
+        identical to a chained one-frame-at-a-time scheduler.
+        """
+        queue = self._queue
+        if not queue:
             self._transmitting = False
             return
         self._transmitting = True
-        frame = self._queue.popleft()
-        ser = serialization_ns(frame.wire_size, self.link.bandwidth_bps)
-        self.sim.schedule(ser, self._finish_tx, frame)
+        sim = self.sim
+        link = self.link
+        n = len(queue)
+        if n > TX_BATCH:
+            n = TX_BATCH
+        self._batch_left = n
+        first = queue.popleft()
+        t = sim.now + link.serialization_ns(first.wire_size)
+        sim.call_at(t, self._finish_tx, first)
+        for i in range(n - 1):
+            frame = queue[i]
+            t += link.serialization_ns(frame.wire_size)
+            sim.call_at(t, self._finish_tx, frame)
 
     def _finish_tx(self, frame: Frame) -> None:
         self.tx_frames += 1
         self.tx_bytes += frame.wire_size
-        self.link.frames += 1
-        self.link.bytes += frame.wire_size
+        link = self.link
+        link.frames += 1
+        link.bytes += frame.wire_size
         if self.tracer:
             self.tracer.record("tx", port=self.name, frame=frame)
-        peer = self.link.peer_of(self)
-        self.sim.schedule(self.link.delay_ns, peer.deliver, frame)
-        self._start_next()
+        peer = self._peer
+        if peer is None:
+            peer = self._peer = link.peer_of(self)
+        self.sim.call_after(link.delay_ns, peer.deliver, frame)
+        self._batch_left -= 1
+        if self._batch_left:
+            # The successor's serialization starts this instant; it exits
+            # the FIFO now (its finish event is already on the heap).
+            self._queue.popleft()
+        else:
+            self._start_next()
 
     # -- ingress ----------------------------------------------------------
 

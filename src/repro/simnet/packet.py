@@ -11,7 +11,6 @@ occupancy are computed from real on-the-wire byte counts.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from typing import Any
 
 # Ethernet sizing.  ETH_OVERHEAD covers header (14) + FCS (4) + preamble/
@@ -26,7 +25,6 @@ ETH_MTU = 1500  # default link MTU (IP packet size limit)
 _frame_ids = itertools.count(1)
 
 
-@dataclass
 class Frame:
     """One Ethernet frame in flight.
 
@@ -34,22 +32,28 @@ class Frame:
     testbeds built here are small enough that a flat id space is exact).
     ``payload_size`` is the size in bytes of the encapsulated network-layer
     packet; ``wire_size`` adds Ethernet framing and padding.
+
+    Implemented as a plain ``__slots__`` class (not a dataclass):
+    bandwidth runs allocate one per MTU of traffic, so construction cost
+    and per-instance dict overhead are on the hot path.  ``wire_size`` is
+    precomputed at construction — frames are immutable once in flight.
     """
 
-    src: int
-    dst: int
-    payload: Any
-    payload_size: int
-    frame_id: int = field(default_factory=lambda: next(_frame_ids))
+    __slots__ = ("src", "dst", "payload", "payload_size", "frame_id", "wire_size")
 
-    def __post_init__(self) -> None:
-        if self.payload_size < 0:
-            raise ValueError(f"negative payload size: {self.payload_size}")
-
-    @property
-    def wire_size(self) -> int:
-        """Bytes this frame occupies on the wire, padding included."""
-        return max(self.payload_size, ETH_MIN_PAYLOAD) + ETH_OVERHEAD
+    def __init__(self, src: int, dst: int, payload: Any, payload_size: int,
+                 frame_id: int = 0):
+        if payload_size < 0:
+            raise ValueError(f"negative payload size: {payload_size}")
+        self.src = src
+        self.dst = dst
+        self.payload = payload
+        self.payload_size = payload_size
+        self.frame_id = frame_id if frame_id else next(_frame_ids)
+        # Bytes this frame occupies on the wire, padding included.
+        self.wire_size = (
+            payload_size if payload_size >= ETH_MIN_PAYLOAD else ETH_MIN_PAYLOAD
+        ) + ETH_OVERHEAD
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -16,7 +16,6 @@ simulator avoids materializing per-fragment byte slices.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Tuple
 
 from ..simnet.engine import MS, Simulator
@@ -29,21 +28,39 @@ IP_HEADER = 20
 REASSEMBLY_TIMEOUT_NS = 200 * MS
 
 
-@dataclass
 class IpPacket:
-    """One IP packet (possibly a fragment) as carried in a Frame."""
+    """One IP packet (possibly a fragment) as carried in a Frame.
+
+    A plain ``__slots__`` class: large datagrams allocate one of these
+    per MTU-sized fragment, so instance overhead is hot-path cost.
+    """
 
     PROTO = "ip"
 
-    src: int
-    dst: int
-    proto: str                  # upper-layer protocol name ("udp", "tcp", ...)
-    payload: Any                # the upper-layer object (shared across fragments)
-    total_size: int             # full upper-layer size in bytes
-    ident: int                  # fragment group id
-    frag_offset: int = 0        # byte offset of this fragment's data
-    frag_size: int = 0          # bytes of upper-layer data in this fragment
-    more_frags: bool = False
+    __slots__ = ("src", "dst", "proto", "payload", "total_size", "ident",
+                 "frag_offset", "frag_size", "more_frags")
+
+    def __init__(
+        self,
+        src: int,
+        dst: int,
+        proto: str,            # upper-layer protocol name ("udp", "tcp", ...)
+        payload: Any,          # the upper-layer object (shared across fragments)
+        total_size: int,       # full upper-layer size in bytes
+        ident: int,            # fragment group id
+        frag_offset: int = 0,  # byte offset of this fragment's data
+        frag_size: int = 0,    # bytes of upper-layer data in this fragment
+        more_frags: bool = False,
+    ):
+        self.src = src
+        self.dst = dst
+        self.proto = proto
+        self.payload = payload
+        self.total_size = total_size
+        self.ident = ident
+        self.frag_offset = frag_offset
+        self.frag_size = frag_size
+        self.more_frags = more_frags
 
     @property
     def header_and_data_size(self) -> int:

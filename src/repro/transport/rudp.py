@@ -51,11 +51,61 @@ Address = Tuple[int, int]
 _HEADER = struct.Struct("!BQ")  # kind, sequence number
 _ACK_ECHO = struct.Struct("!Q")  # seq whose arrival triggered this ACK
 _SACK_RANGE = struct.Struct("!QQ")  # inclusive [start, end] sequence range
+# Precomputed fast path for the overwhelmingly common ACK shape — no
+# SACK ranges — packing header and echo in one call.  The bytes are
+# identical to _HEADER.pack(...) + _ACK_ECHO.pack(...).
+_ACK_NOSACK = struct.Struct("!BQQ")  # kind, cumulative seq, echo seq
 KIND_DATA = 1
 KIND_ACK = 2
 
 RUDP_HEADER = _HEADER.size  # 9 bytes
 RUDP_MAX_PAYLOAD = UDP_MAX_PAYLOAD - RUDP_HEADER
+
+#: SACK range count travels in one byte, capping ranges per ACK.
+SACK_RANGES_MAX = 255
+
+
+def encode_ack(
+    cum_seq: int, echo_seq: int, ranges: List[Tuple[int, int]]
+) -> bytes:
+    """Encode a complete ACK datagram (header included).
+
+    Wire layout: ``!BQ`` header (KIND_ACK, cumulative seq), ``!Q`` echo
+    seq, then — only when present — a count byte followed by ``!QQ``
+    inclusive SACK pairs.
+    """
+    if not ranges:
+        return _ACK_NOSACK.pack(KIND_ACK, cum_seq, echo_seq)
+    if len(ranges) > SACK_RANGES_MAX:
+        raise RudpError(f"{len(ranges)} SACK ranges exceed the count byte")
+    return (
+        _ACK_NOSACK.pack(KIND_ACK, cum_seq, echo_seq)
+        + bytes([len(ranges)])
+        + b"".join(_SACK_RANGE.pack(s, e) for s, e in ranges)
+    )
+
+
+def decode_ack_payload(payload: bytes) -> Tuple[int, List[Tuple[int, int]]]:
+    """Decode an ACK payload (everything after the ``!BQ`` header) into
+    ``(echo_seq, sack_ranges)``.  Truncated trailing ranges are dropped;
+    inverted ranges (start > end) are ignored."""
+    n = len(payload)
+    if n < 8:
+        return 0, []
+    if n == 8:  # no SACK block — the common case, one unpack, no slicing
+        return _ACK_ECHO.unpack(payload)[0], []
+    (echo,) = _ACK_ECHO.unpack_from(payload)
+    count = payload[8]
+    ranges: List[Tuple[int, int]] = []
+    offset = 9
+    for _ in range(count):
+        if offset + 16 > n:
+            break  # truncated: use what parsed cleanly
+        start, end = _SACK_RANGE.unpack_from(payload, offset)
+        offset += 16
+        if start <= end:
+            ranges.append((start, end))
+    return echo, ranges
 
 #: RD runs on a LAN fabric: the RTO floor is far below TCP's 200 ms
 #: (which would be ruinous next to microsecond RTTs) but still well
@@ -127,11 +177,13 @@ class _PeerTx:
 class _PeerRx:
     """Receiver-side state from one peer."""
 
-    __slots__ = ("rcv_nxt", "ooo")
+    __slots__ = ("rcv_nxt", "ooo", "pending_acks", "ack_timer")
 
     def __init__(self) -> None:
         self.rcv_nxt = 1
         self.ooo: Dict[int, bytes] = {}
+        self.pending_acks = 0   # in-order arrivals not yet acknowledged
+        self.ack_timer = None   # pending-ACK flush timer (batched mode)
 
 
 class RudpSocket:
@@ -145,6 +197,16 @@ class RudpSocket:
     socket degrades to the original fixed-RTO design — no estimator, no
     backoff, no fast retransmit, no SACK — kept as the baseline the
     robustness benchmarks compare against.
+
+    ``ack_every`` > 1 batches acknowledgements: in-order arrivals are
+    acknowledged once per ``ack_every`` datagrams (or after
+    ``ack_delay_ns``, whichever comes first — one pending-ACK timer per
+    peer, not one per datagram), while anything anomalous — a gap, a
+    duplicate, out-of-order data — still flushes an ACK immediately so
+    fast retransmit and SACK recovery keep their one-ACK-per-anomaly
+    timing.  Timer-fired ACKs echo sequence 0, which never produces an
+    RTT sample (the delay would otherwise contaminate SRTT).  The
+    default of 1 is the paper's ack-every-arrival behaviour.
     """
 
     def __init__(
@@ -158,9 +220,15 @@ class RudpSocket:
         max_rto_ns: int = RD_MAX_RTO_NS,
         sack_ranges: int = 3,
         dup_ack_threshold: int = 3,
+        ack_every: int = 1,
+        ack_delay_ns: int = 100 * US,
     ):
         if window_msgs < 1:
             raise RudpError("window must be at least 1 message")
+        if ack_every < 1:
+            raise RudpError("ack_every must be at least 1")
+        if ack_delay_ns <= 0:
+            raise RudpError("ack_delay_ns must be positive")
         self.udp = udp
         self.sim: Simulator = udp.stack.sim
         self.window_msgs = window_msgs
@@ -169,8 +237,12 @@ class RudpSocket:
         self.adaptive = adaptive
         self.min_rto_ns = min(min_rto_ns, rto_ns)
         self.max_rto_ns = max(max_rto_ns, rto_ns)
-        self.sack_ranges = sack_ranges if adaptive else 0
+        self.sack_ranges = min(sack_ranges, SACK_RANGES_MAX) if adaptive else 0
         self.dup_ack_threshold = dup_ack_threshold if adaptive else 0
+        # The fixed-RTO baseline predates delayed ACKs; it keeps the
+        # original ack-every-arrival behaviour regardless of ack_every.
+        self.ack_every = ack_every if adaptive else 1
+        self.ack_delay_ns = ack_delay_ns
         self.closed = False
         self._tx: Dict[Address, _PeerTx] = {}
         self._rx: Dict[Address, _PeerRx] = {}
@@ -251,7 +323,12 @@ class RudpSocket:
         tx = self._tx.get(addr)
         if tx is None:
             tx = self._tx.setdefault(addr, _PeerTx(self._new_estimator()))
-        tx.queue.append((bytes(data), on_result))
+        # Snapshot mutable buffers so later caller-side writes can't
+        # alias into the retransmission store; immutable bytes are
+        # enqueued as-is (bytes(data) on bytes would copy for nothing).
+        if not isinstance(data, bytes):
+            data = bytes(data)
+        tx.queue.append((data, on_result))
         self._pump(addr, tx)
 
     def _pump(self, addr: Address, tx: _PeerTx) -> None:
@@ -356,23 +433,7 @@ class RudpSocket:
     ) -> Tuple[int, List[Tuple[int, int]]]:
         """ACK payload: the echo seq (whose arrival triggered this ACK),
         then optional SACK ranges (count byte + inclusive pairs)."""
-        if len(payload) < _ACK_ECHO.size:
-            return 0, []
-        (echo,) = _ACK_ECHO.unpack_from(payload)
-        payload = payload[_ACK_ECHO.size:]
-        if not payload:
-            return echo, []
-        count = payload[0]
-        ranges = []
-        offset = 1
-        for _ in range(count):
-            if offset + _SACK_RANGE.size > len(payload):
-                break  # truncated: use what parsed cleanly
-            start, end = _SACK_RANGE.unpack_from(payload, offset)
-            offset += _SACK_RANGE.size
-            if start <= end:
-                ranges.append((start, end))
-        return echo, ranges
+        return decode_ack_payload(payload)
 
     def _on_ack(self, ack_seq: int, payload: bytes, src: Address) -> None:
         """Cumulative: acknowledges every sequence number < ack_seq.
@@ -486,6 +547,7 @@ class RudpSocket:
 
     def _on_data(self, seq: int, payload: bytes, src: Address) -> None:
         rx = self._rx.setdefault(src, _PeerRx())
+        anomaly = True
         if seq < rx.rcv_nxt or seq in rx.ooo:
             self.duplicates_dropped += 1
         elif seq == rx.rcv_nxt:
@@ -494,12 +556,33 @@ class RudpSocket:
             while rx.rcv_nxt in rx.ooo:
                 self._deliver(rx.ooo.pop(rx.rcv_nxt), src)
                 rx.rcv_nxt += 1
+            # Clean in-order progress (no gap still parked) may be
+            # acknowledged lazily; everything else must flush now so the
+            # sender's dup-ACK/SACK machinery sees each anomaly.
+            anomaly = bool(rx.ooo)
         else:
             rx.ooo[seq] = payload
-        # Always ack with the cumulative in-order point, echoing the
-        # seq that triggered this ACK (plus SACK ranges for whatever is
-        # parked out of order).
-        self._send_ack(rx, src, seq)
+        rx.pending_acks += 1
+        if anomaly or rx.pending_acks >= self.ack_every:
+            # Ack with the cumulative in-order point, echoing the seq
+            # that triggered this ACK (plus SACK ranges for whatever is
+            # parked out of order).
+            self._flush_ack(rx, src, seq)
+        elif rx.ack_timer is None:
+            rx.ack_timer = self.sim.schedule(
+                self.ack_delay_ns, self._on_ack_timer, src
+            )
+
+    def _on_ack_timer(self, src: Address) -> None:
+        """Pending-ACK timer: acknowledge whatever arrived in-order since
+        the last ACK.  Echoes seq 0 — never a valid trigger — so the
+        sender takes no RTT sample from a deliberately delayed ACK."""
+        rx = self._rx.get(src)
+        if rx is None:
+            return
+        rx.ack_timer = None
+        if rx.pending_acks:
+            self._flush_ack(rx, src, 0)
 
     def _ooo_ranges(self, rx: _PeerRx) -> List[Tuple[int, int]]:
         """First ``sack_ranges`` contiguous runs of out-of-order data."""
@@ -519,15 +602,15 @@ class RudpSocket:
         ranges.append((start, prev))
         return ranges[: self.sack_ranges]
 
-    def _send_ack(self, rx: _PeerRx, src: Address, trigger_seq: int) -> None:
-        ranges = self._ooo_ranges(rx)
-        payload = _ACK_ECHO.pack(trigger_seq)
-        if ranges:
-            payload += bytes([len(ranges)]) + b"".join(
-                _SACK_RANGE.pack(s, e) for s, e in ranges
-            )
+    def _flush_ack(self, rx: _PeerRx, src: Address, trigger_seq: int) -> None:
+        if rx.ack_timer is not None:
+            rx.ack_timer.cancel()
+            rx.ack_timer = None
+        rx.pending_acks = 0
         self.acks_sent += 1
-        self.udp.sendto(_HEADER.pack(KIND_ACK, rx.rcv_nxt) + payload, src)
+        self.udp.sendto(
+            encode_ack(rx.rcv_nxt, trigger_seq, self._ooo_ranges(rx)), src
+        )
 
     def _deliver(self, data: bytes, src: Address) -> None:
         if self.on_message is not None:
@@ -609,6 +692,10 @@ class RudpSocket:
             tx.queue.clear()
             tx.cbs.clear()
         self._tx.clear()
+        for rx in self._rx.values():
+            if rx.ack_timer is not None:
+                rx.ack_timer.cancel()
+                rx.ack_timer = None
         # Detach before failing callbacks: nothing may re-enter a closed
         # socket through a stale UDP delivery path.
         if self.udp.on_datagram == self._on_datagram:

@@ -27,6 +27,11 @@ from .congestion import RenoCongestion
 from ..rto import RtoEstimator
 from .segment import ACK, FIN, PSH, RST, SYN, TcpSegment
 
+#: Dead-prefix size at which the send buffer is physically compacted.
+#: Below this, ACK processing advances an offset instead of memmoving
+#: the whole buffer, which is what made large-message RC runs O(n^2).
+_SNDBUF_COMPACT = 256 * 1024
+
 # Connection states.
 CLOSED = "CLOSED"
 SYN_SENT = "SYN_SENT"
@@ -122,7 +127,13 @@ class TcpConnection:
         self.snd_nxt = iss
         self.snd_max = iss            # highest sequence ever sent
         self._sndbuf = bytearray()
-        self._snd_base = iss + 1          # seq of _sndbuf[0] (after SYN)
+        # seq of the first *live* send-buffer byte (after SYN).  ACKed
+        # bytes are consumed by advancing _snd_head instead of deleting
+        # the buffer prefix (an O(buffer) memmove per ACK); the dead
+        # prefix is dropped in one amortized delete once it exceeds
+        # _SNDBUF_COMPACT.
+        self._snd_base = iss + 1
+        self._snd_head = 0                # physical offset of _snd_base
         self.peer_window = 64 * 1024
         self.cong = RenoCongestion(mss)
         self.rto = RtoEstimator()
@@ -297,7 +308,9 @@ class TcpConnection:
     # ------------------------------------------------------------------
 
     def _unsent_bytes(self) -> int:
-        return self._snd_base + len(self._sndbuf) - self.snd_nxt
+        return (
+            self._snd_base + len(self._sndbuf) - self._snd_head - self.snd_nxt
+        )
 
     def flight_size(self) -> int:
         return self.snd_nxt - self.snd_una
@@ -313,8 +326,10 @@ class TcpConnection:
                 if self.nagle and take < self.mss and self.flight_size() > 0:
                     # Nagle: hold sub-MSS data while anything is unacked.
                     break
-                off = self.snd_nxt - self._snd_base
-                payload = bytes(self._sndbuf[off : off + take])
+                off = self._snd_head + self.snd_nxt - self._snd_base
+                # One copy, not two: a memoryview slice is zero-copy and
+                # bytes() materializes the immutable segment payload.
+                payload = bytes(memoryview(self._sndbuf)[off : off + take])
                 flags = ACK
                 if take == unsent:
                     flags |= PSH
@@ -419,11 +434,11 @@ class TcpConnection:
         if self._fin_sent and self.snd_una == self._fin_seq:
             self._transmit(self._fin_seq, FIN | ACK, b"")
             return
-        off = self.snd_una - self._snd_base
+        off = self._snd_head + self.snd_una - self._snd_base
         take = min(self.mss, len(self._sndbuf) - off)
         if take <= 0:
             return
-        payload = bytes(self._sndbuf[off : off + take])
+        payload = bytes(memoryview(self._sndbuf)[off : off + take])
         self._transmit(self.snd_una, ACK | PSH, payload)
 
     # -- delayed ACK -------------------------------------------------------
@@ -518,12 +533,19 @@ class TcpConnection:
             if self._rtt_seq is not None and ack >= self._rtt_seq:
                 self.rto.sample(self.sim.now - self._rtt_sent_at)
                 self._rtt_seq = None
-            # Trim the send buffer below snd_una (SYN/FIN consume no buffer).
+            # Trim the send buffer below snd_una (SYN/FIN consume no
+            # buffer).  Advancing the head offset is O(1); the dead
+            # prefix is physically freed only once it grows large.
             data_start = max(self._snd_base, self.snd_una)
-            trim = min(data_start - self._snd_base, len(self._sndbuf))
+            trim = min(
+                data_start - self._snd_base, len(self._sndbuf) - self._snd_head
+            )
             if trim > 0:
-                del self._sndbuf[:trim]
+                self._snd_head += trim
                 self._snd_base += trim
+                if self._snd_head >= _SNDBUF_COMPACT:
+                    del self._sndbuf[: self._snd_head]
+                    self._snd_head = 0
             self.cong.on_ack(newly, self.snd_una)
             if self.cong.in_recovery:
                 # NewReno partial ack: the cumulative ACK moved but not

@@ -221,7 +221,10 @@ class TcpSocket:
     def send(self, data: bytes) -> None:
         """Queue bytes on the stream (charges syscall + copy, then feeds
         the connection's output engine)."""
-        data = bytes(data)
+        # The CPU charge defers _send_now, so mutable buffers must be
+        # snapshotted here; immutable bytes can be handed through as-is.
+        if not isinstance(data, bytes):
+            data = bytes(data)
         self.stack.charge_send_call(len(data), self._send_now, data)
 
     def _send_now(self, data: bytes) -> None:
@@ -246,7 +249,9 @@ class TcpSocket:
         their own syscall/copy costs.  Must be called from CPU-execution
         context (an event callback), like all stack internals."""
         if self.conn.state != "CLOSED":
-            self.conn.send(bytes(data))
+            # No snapshot needed: conn.send copies into the send buffer
+            # synchronously, before control returns to the caller.
+            self.conn.send(data)
 
     def _on_data(self, data: bytes) -> None:
         if self.on_data is not None:

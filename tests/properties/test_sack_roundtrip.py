@@ -1,0 +1,112 @@
+"""SACK wire-format round-trip properties.
+
+The RUDP ACK codec grew a precomputed fast path (``!BQQ`` for SACK-less
+ACKs, a length-8 decode shortcut), so the encode/decode pair is pinned
+property-style: any cumulative point, any echo, any admissible range
+set must survive the trip through real datagram bytes — including the
+255-range count-byte boundary and the degenerate no-range shape the
+fast path serves.
+"""
+
+import struct
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.transport.rudp import (
+    KIND_ACK, RUDP_HEADER, RudpError, SACK_RANGES_MAX, decode_ack_payload,
+    encode_ack,
+)
+
+_HEADER = struct.Struct("!BQ")
+
+seq64 = st.integers(min_value=0, max_value=2**64 - 1)
+
+#: Inclusive, well-formed [start, end] sequence ranges.
+sack_range = st.tuples(seq64, seq64).map(lambda p: (min(p), max(p)))
+
+range_sets = st.lists(sack_range, min_size=0, max_size=SACK_RANGES_MAX)
+
+
+def _decode_datagram(datagram: bytes):
+    """Split a full ACK datagram the way RudpSocket._on_datagram does."""
+    kind, cum = _HEADER.unpack_from(datagram)
+    assert kind == KIND_ACK
+    return cum, decode_ack_payload(datagram[RUDP_HEADER:])
+
+
+@settings(max_examples=300)
+@given(cum=seq64, echo=seq64, ranges=range_sets)
+def test_ack_roundtrip(cum, echo, ranges):
+    datagram = encode_ack(cum, echo, ranges)
+    got_cum, (got_echo, got_ranges) = _decode_datagram(datagram)
+    assert got_cum == cum
+    assert got_echo == echo
+    assert got_ranges == ranges
+
+
+@settings(max_examples=200)
+@given(cum=seq64, echo=seq64)
+def test_sackless_fast_path_bytes_match_slow_path(cum, echo):
+    """The one-pack fast path must emit the exact bytes of the
+    compositional encoding it replaced."""
+    assert encode_ack(cum, echo, []) == (
+        _HEADER.pack(KIND_ACK, cum) + struct.Struct("!Q").pack(echo)
+    )
+
+
+def test_count_byte_boundary_roundtrips():
+    """Exactly 255 ranges — the count byte's ceiling — must round-trip."""
+    ranges = [(2 * i, 2 * i + 1) for i in range(SACK_RANGES_MAX)]
+    datagram = encode_ack(7, 3, ranges)
+    assert datagram[RUDP_HEADER + 8] == 255
+    _, (echo, got) = _decode_datagram(datagram)
+    assert echo == 3
+    assert got == ranges
+
+
+def test_over_boundary_rejected():
+    ranges = [(i, i) for i in range(SACK_RANGES_MAX + 1)]
+    with pytest.raises(RudpError):
+        encode_ack(1, 1, ranges)
+
+
+@settings(max_examples=200)
+@given(cum=seq64, echo=seq64, ranges=range_sets.filter(bool),
+       cut=st.integers(min_value=1, max_value=16))
+def test_truncated_trailing_range_dropped_cleanly(cum, echo, ranges, cut):
+    """Chopping bytes off the last range loses only that range (the
+    decoder uses what parsed cleanly, mirroring a short datagram)."""
+    datagram = encode_ack(cum, echo, ranges)
+    payload = datagram[RUDP_HEADER:len(datagram) - cut]
+    got_echo, got_ranges = decode_ack_payload(payload)
+    assert got_echo == echo
+    assert got_ranges == ranges[:-1]
+
+
+#: Bounded below 2**64 - 1 so the deliberate (end + 1, start) inversion
+#: below cannot overflow the u64 wire field.
+small_range_sets = st.lists(
+    st.tuples(st.integers(0, 2**32), st.integers(0, 2**32)).map(
+        lambda p: (min(p), max(p))
+    ),
+    min_size=0,
+    max_size=SACK_RANGES_MAX,
+)
+
+
+@settings(max_examples=200)
+@given(echo=seq64, ranges=small_range_sets)
+def test_inverted_ranges_never_decoded(echo, ranges):
+    """Decoders must ignore inverted (start > end) ranges wherever they
+    appear, keeping every well-formed one."""
+    raw = struct.Struct("!Q").pack(echo)
+    wire = [(s, e) if i % 2 == 0 else (e + 1, s) for i, (s, e) in enumerate(ranges)]
+    wanted = [r for r in wire if r[0] <= r[1]]
+    if wire:
+        raw += bytes([len(wire)]) + b"".join(
+            struct.Struct("!QQ").pack(s, e) for s, e in wire
+        )
+    got_echo, got_ranges = decode_ack_payload(raw)
+    assert got_echo == echo
+    assert got_ranges == wanted

@@ -256,6 +256,7 @@ WIRE_FORMATS: Dict[str, Dict[str, int]] = {
         "!BQ": 9,  # RUDP header: kind + 64-bit sequence number
         "!Q": 8,  # ACK echo: seq whose arrival triggered the ACK
         "!QQ": 16,  # SACK range: inclusive [start, end]
+        "!BQQ": 17,  # SACK-less ACK fast path: header + echo in one pack
     },
 }
 
